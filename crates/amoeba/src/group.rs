@@ -1,0 +1,861 @@
+//! Amoeba's kernel-space totally-ordered group communication (the protocol
+//! of Kaashoek's thesis, as used by the paper).
+//!
+//! A sequencer machine orders all messages. For small messages the sender
+//! forwards the message to the sequencer (point-to-point), which tags it with
+//! the next sequence number and multicasts it (the *PB* method). For large
+//! messages the sender multicasts the data itself and the sequencer
+//! multicasts a small *accept* carrying the sequence number (the *BB*
+//! method). Receivers deliver strictly in sequence-number order, detect gaps,
+//! and recover by asking the sequencer to resend from its history buffer.
+//!
+//! Everything here runs **in the kernel**: handlers execute in interrupt
+//! context on the network receive path, so ordering, history, and
+//! retransmission consume interrupt-level CPU and never cost a thread
+//! switch — the structural advantage the paper measures for the kernel-space
+//! implementation (Section 4.3).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use desim::{Ctx, RecvTimeoutError, SimChannel, SimDuration, SwitchCharge};
+use ethernet::McastAddr;
+use flip::{FlipAddr, FlipMessage};
+use parking_lot::Mutex;
+
+use crate::cost::AMOEBA_GROUP_HEADER_BYTES;
+use crate::machine::{fragments_of, Machine};
+
+/// A message delivered by the group protocol, identical (payload and order)
+/// at every member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupMessage {
+    /// Member that sent the message.
+    pub sender: u32,
+    /// Global sequence number (contiguous from 1).
+    pub seq: u64,
+    /// Message body.
+    pub payload: Bytes,
+}
+
+/// Errors reported by [`GroupMember::send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupError {
+    /// The message was never sequenced (sequencer unreachable).
+    Timeout,
+}
+
+impl fmt::Display for GroupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupError::Timeout => write!(f, "group send was never sequenced"),
+        }
+    }
+}
+
+impl std::error::Error for GroupError {}
+
+/// Group protocol tuning.
+#[derive(Debug, Clone)]
+pub struct GroupConfig {
+    /// Messages larger than this use the BB method (sender broadcasts data,
+    /// sequencer broadcasts a small accept).
+    pub bb_threshold: usize,
+    /// Maximum history entries the sequencer retains past the slowest
+    /// member's acknowledged point.
+    pub history_max: usize,
+    /// Maximum history entries resent per retransmission request.
+    pub retrans_chunk: u64,
+    /// How long a sender waits for its own message before retransmitting.
+    pub send_timeout: SimDuration,
+    /// Poll interval used by blocked receivers while a gap is outstanding.
+    pub gap_poll: SimDuration,
+    /// A member reports its delivery progress to the sequencer after this
+    /// many deliveries (history flow control).
+    pub status_interval: u64,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            bb_threshold: flip::FLIP_FRAGMENT_BYTES - AMOEBA_GROUP_HEADER_BYTES,
+            history_max: 4096,
+            retrans_chunk: 32,
+            send_timeout: SimDuration::from_millis(400),
+            gap_poll: SimDuration::from_millis(20),
+            status_interval: 20,
+        }
+    }
+}
+
+/// Static description of a group: FLIP group address, Ethernet multicast
+/// address, per-member kernel endpoints, and which member sequences.
+#[derive(Debug, Clone)]
+pub struct GroupSpec {
+    /// FLIP group address all data/accept multicasts go to.
+    pub group: FlipAddr,
+    /// Backing Ethernet multicast group.
+    pub eth: McastAddr,
+    /// Kernel endpoint of each member, indexed by member id.
+    pub member_addrs: Vec<FlipAddr>,
+    /// Index of the sequencer member.
+    pub sequencer: usize,
+    /// Protocol tuning.
+    pub config: GroupConfig,
+}
+
+impl GroupSpec {
+    /// Builds a spec for group `group_id` with `n_members` members,
+    /// sequenced by member `sequencer`.
+    pub fn build(group_id: u64, n_members: usize, sequencer: usize) -> GroupSpec {
+        assert!(sequencer < n_members, "sequencer must be a member");
+        GroupSpec {
+            group: FlipAddr(0x3000_0000_0000_0000 | group_id),
+            eth: McastAddr(0x1000 + group_id as u32),
+            member_addrs: (0..n_members)
+                .map(|i| FlipAddr(0x6000_0000_0000_0000 | (group_id << 16) | i as u64))
+                .collect(),
+            sequencer,
+            config: GroupConfig::default(),
+        }
+    }
+
+    fn sequencer_addr(&self) -> FlipAddr {
+        self.member_addrs[self.sequencer]
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    /// Small message to the sequencer (PB): body attached.
+    Req,
+    /// Large-message announcement to the sequencer (BB): data went by
+    /// multicast separately.
+    ReqBb,
+    /// Sequenced message multicast by the sequencer: body attached.
+    Seq,
+    /// Large-message data multicast by the sender.
+    BbData,
+    /// Sequencer's ordering decision for a BB message.
+    Accept,
+    /// Receiver asks the sequencer to resend history from `seqno`.
+    RetransReq,
+    /// Periodic delivery-progress report for history trimming.
+    Status,
+}
+
+impl Kind {
+    fn to_byte(self) -> u8 {
+        match self {
+            Kind::Req => 0,
+            Kind::ReqBb => 1,
+            Kind::Seq => 2,
+            Kind::BbData => 3,
+            Kind::Accept => 4,
+            Kind::RetransReq => 5,
+            Kind::Status => 6,
+        }
+    }
+    fn from_byte(b: u8) -> Option<Kind> {
+        Some(match b {
+            0 => Kind::Req,
+            1 => Kind::ReqBb,
+            2 => Kind::Seq,
+            3 => Kind::BbData,
+            4 => Kind::Accept,
+            5 => Kind::RetransReq,
+            6 => Kind::Status,
+            _ => return None,
+        })
+    }
+}
+
+struct Header {
+    kind: Kind,
+    sender: u32,
+    msg_id: u64,
+    seqno: u64,
+    piggyback: u64,
+}
+
+impl Header {
+    fn encode_with(&self, body: &[u8]) -> Bytes {
+        let mut buf = BytesMut::with_capacity(AMOEBA_GROUP_HEADER_BYTES + body.len());
+        buf.put_u8(self.kind.to_byte());
+        buf.put_u32(self.sender);
+        buf.put_u64(self.msg_id);
+        buf.put_u64(self.seqno);
+        buf.put_u64(self.piggyback);
+        buf.put_slice(&[0u8; AMOEBA_GROUP_HEADER_BYTES - 29]);
+        debug_assert_eq!(buf.len(), AMOEBA_GROUP_HEADER_BYTES);
+        buf.put_slice(body);
+        buf.freeze()
+    }
+
+    fn decode(payload: &Bytes) -> Option<(Header, Bytes)> {
+        if payload.len() < AMOEBA_GROUP_HEADER_BYTES {
+            return None;
+        }
+        let b = &payload[..];
+        let kind = Kind::from_byte(b[0])?;
+        let rd64 = |o: usize| u64::from_be_bytes(b[o..o + 8].try_into().expect("8 bytes"));
+        Some((
+            Header {
+                kind,
+                sender: u32::from_be_bytes(b[1..5].try_into().expect("4 bytes")),
+                msg_id: rd64(5),
+                seqno: rd64(13),
+                piggyback: rd64(21),
+            },
+            payload.slice(AMOEBA_GROUP_HEADER_BYTES..),
+        ))
+    }
+}
+
+/// Per-member receiver state (every member, including the sequencer).
+struct MemberState {
+    next_deliver: u64,
+    ooo: BTreeMap<u64, (u32, u64, Bytes)>,
+    bb_store: HashMap<(u32, u64), Bytes>,
+    accepts: BTreeMap<u64, (u32, u64)>,
+    delivered_msg: HashMap<u32, u64>,
+    send_waiters: HashMap<u64, SimChannel<u64>>,
+    next_msg_id: u64,
+    since_status: u64,
+    last_gap_request: u64,
+}
+
+/// Sequencer-only state.
+struct SeqState {
+    next_seq: u64,
+    history: BTreeMap<u64, (u32, u64, Bytes)>,
+    seen: HashMap<(u32, u64), u64>,
+    delivered: Vec<u64>,
+    pending_bb: HashMap<(u32, u64), u64>,
+    history_overflow_drops: u64,
+}
+
+struct GroupState {
+    member: MemberState,
+    seq: Option<SeqState>,
+}
+
+/// Wire traffic produced by the (locked) protocol state machine, executed
+/// after the lock is released because transmission sleeps in virtual time.
+enum WireOut {
+    Unicast(FlipAddr, Bytes),
+    Multicast(Bytes),
+}
+
+/// One member's handle on an Amoeba kernel group.
+#[derive(Clone)]
+pub struct GroupMember {
+    machine: Machine,
+    spec: Arc<GroupSpec>,
+    my_id: u32,
+    state: Arc<Mutex<GroupState>>,
+    inbox: SimChannel<GroupMessage>,
+}
+
+impl fmt::Debug for GroupMember {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GroupMember")
+            .field("member", &self.my_id)
+            .field("machine", &self.machine.name())
+            .field("sequencer", &(self.my_id as usize == self.spec.sequencer))
+            .finish()
+    }
+}
+
+impl GroupMember {
+    /// Joins `machine` to the group as member `my_id`, installing the kernel
+    /// handlers. The member with `spec.sequencer == my_id` also runs the
+    /// sequencer, entirely inside its kernel.
+    pub fn join(machine: &Machine, spec: GroupSpec, my_id: u32) -> GroupMember {
+        let is_seq = my_id as usize == spec.sequencer;
+        let n = spec.member_addrs.len();
+        let state = Arc::new(Mutex::new(GroupState {
+            member: MemberState {
+                next_deliver: 1,
+                ooo: BTreeMap::new(),
+                bb_store: HashMap::new(),
+                accepts: BTreeMap::new(),
+                delivered_msg: HashMap::new(),
+                send_waiters: HashMap::new(),
+                next_msg_id: 1,
+                since_status: 0,
+                last_gap_request: 0,
+            },
+            seq: is_seq.then(|| SeqState {
+                next_seq: 1,
+                history: BTreeMap::new(),
+                seen: HashMap::new(),
+                delivered: vec![0; n],
+                pending_bb: HashMap::new(),
+                history_overflow_drops: 0,
+            }),
+        }));
+        let member = GroupMember {
+            machine: machine.clone(),
+            spec: Arc::new(spec),
+            my_id,
+            state,
+            inbox: SimChannel::new(),
+        };
+        let h1 = member.clone();
+        machine.register_kernel_handler(
+            member.spec.member_addrs[my_id as usize],
+            Arc::new(move |ctx, msg| h1.kernel_handle(ctx, msg)),
+        );
+        let h2 = member.clone();
+        machine.join_kernel_group(
+            member.spec.group,
+            member.spec.eth,
+            Arc::new(move |ctx, msg| h2.kernel_handle(ctx, msg)),
+        );
+        member
+    }
+
+    /// This member's id within the group.
+    pub fn member_id(&self) -> u32 {
+        self.my_id
+    }
+
+    /// `true` if this member hosts the sequencer.
+    pub fn is_sequencer(&self) -> bool {
+        self.my_id as usize == self.spec.sequencer
+    }
+
+    /// The machine this member runs on.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Number of sequenced-but-undeliverable messages currently buffered
+    /// (diagnostics; non-zero implies a gap).
+    pub fn backlog(&self) -> usize {
+        let st = self.state.lock();
+        st.member.ooo.len() + st.member.accepts.len()
+    }
+
+    /// History entries the sequencer had to drop because the buffer
+    /// overflowed (only meaningful on the sequencer member).
+    pub fn history_overflow_drops(&self) -> u64 {
+        self.state
+            .lock()
+            .seq
+            .as_ref()
+            .map_or(0, |s| s.history_overflow_drops)
+    }
+
+    /// Broadcasts `payload` to the group with total ordering. Blocks until
+    /// the message has been sequenced (Amoeba `grp_send` semantics); the
+    /// message is also delivered through [`GroupMember::recv`] at every
+    /// member including this one. Returns the assigned sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::Timeout`] if the message is never sequenced.
+    pub fn send(&self, ctx: &Ctx, payload: Bytes) -> Result<u64, GroupError> {
+        let cost = self.machine.cost().clone();
+        let cfg = &self.spec.config;
+        let (msg_id, waiter) = {
+            let mut st = self.state.lock();
+            let id = st.member.next_msg_id;
+            st.member.next_msg_id += 1;
+            let w = SimChannel::new();
+            st.member.send_waiters.insert(id, w.clone());
+            (id, w)
+        };
+        let piggyback = self.state.lock().member.next_deliver - 1;
+        let big = payload.len() > cfg.bb_threshold;
+        let req_kind = if big { Kind::ReqBb } else { Kind::Req };
+        let req_body = if big { Bytes::new() } else { payload.clone() };
+        let req_wire = Header {
+            kind: req_kind,
+            sender: self.my_id,
+            msg_id,
+            seqno: 0,
+            piggyback,
+        }
+        .encode_with(&req_body);
+        let bb_wire = big.then(|| {
+            Header {
+                kind: Kind::BbData,
+                sender: self.my_id,
+                msg_id,
+                seqno: 0,
+                piggyback,
+            }
+            .encode_with(&payload)
+        });
+        // Enter the kernel: traps, copy, per-packet processing.
+        let wire_frags = fragments_of(req_wire.len())
+            + bb_wire.as_ref().map_or(0, |w| fragments_of(w.len()));
+        ctx.compute(
+            cost.syscall(cost.shallow_call_depth)
+                + cost.protocol_layer
+                + cost.copy(payload.len())
+                + cost.kernel_packet_send * wire_frags,
+        );
+        let mut result = Err(GroupError::Timeout);
+        for attempt in 0..6 {
+            if attempt > 0 {
+                ctx.compute(cost.kernel_packet_send * fragments_of(req_wire.len()));
+            }
+            if let Some(bb) = &bb_wire {
+                if attempt == 0 {
+                    self.send_group_raw(ctx, bb.clone());
+                }
+            }
+            self.send_unicast_raw(ctx, self.spec.sequencer_addr(), req_wire.clone());
+            let backoff = cfg.send_timeout * (1u64 << attempt.min(3));
+            match waiter.recv_timeout(ctx, backoff) {
+                Ok(seq) => {
+                    result = Ok(seq);
+                    break;
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Closed) => break,
+            }
+        }
+        self.state.lock().member.send_waiters.remove(&msg_id);
+        if result.is_ok() {
+            // Return from the blocking grp_send: the kernel woke us directly
+            // from the interrupt handler, so `Auto` charges no switch.
+            ctx.compute_charged(
+                cost.window_trap * cost.shallow_call_depth,
+                SwitchCharge::Auto,
+            );
+        }
+        result
+    }
+
+    /// Receives the next message in total order (every member sees the same
+    /// sequence). Blocks until one is available.
+    pub fn recv(&self, ctx: &Ctx) -> GroupMessage {
+        let cost = self.machine.cost().clone();
+        ctx.compute(cost.syscall_enter);
+        let msg = loop {
+            let gap = {
+                let st = self.state.lock();
+                !st.member.ooo.is_empty() || !st.member.accepts.is_empty()
+            };
+            if gap {
+                match self.inbox.recv_timeout(ctx, self.spec.config.gap_poll) {
+                    Ok(m) => break m,
+                    Err(RecvTimeoutError::Timeout) => {
+                        let next = self.state.lock().member.next_deliver;
+                        let req = Header {
+                            kind: Kind::RetransReq,
+                            sender: self.my_id,
+                            msg_id: 0,
+                            seqno: next,
+                            piggyback: next - 1,
+                        }
+                        .encode_with(&[]);
+                        ctx.compute(cost.kernel_packet_send);
+                        self.send_unicast_raw(ctx, self.spec.sequencer_addr(), req);
+                    }
+                    Err(RecvTimeoutError::Closed) => unreachable!("inbox never closes"),
+                }
+            } else {
+                break self.inbox.recv(ctx).expect("inbox never closes");
+            }
+        };
+        ctx.compute(cost.window_trap * cost.shallow_call_depth);
+        msg
+    }
+
+    /// Raw kernel transmit helpers (no syscall charge; callers charge).
+    fn send_unicast_raw(&self, ctx: &Ctx, dst: FlipAddr, wire: Bytes) {
+        let src = self.spec.member_addrs[self.my_id as usize];
+        if let Some(local) = self.machine.iface().send(ctx, src, dst, wire) {
+            self.machine.dispatch(ctx, local);
+        }
+    }
+
+    fn send_group_raw(&self, ctx: &Ctx, wire: Bytes) {
+        let src = self.spec.member_addrs[self.my_id as usize];
+        if let Some(local) = self.machine.iface().send_group(ctx, src, self.spec.group, wire) {
+            self.machine.dispatch(ctx, local);
+        }
+    }
+
+    /// The kernel protocol handler (interrupt context or local dispatch).
+    fn kernel_handle(&self, ctx: &Ctx, msg: FlipMessage) {
+        let Some((header, body)) = Header::decode(&msg.payload) else {
+            return;
+        };
+        // Run the state machine under the lock; collect wire traffic and CPU
+        // charges to execute afterwards (transmission sleeps).
+        let (outs, icost) = {
+            let mut st = self.state.lock();
+            let mut outs = Vec::new();
+            let mut deliveries = 0usize;
+            let mut delivered_bytes = 0usize;
+            self.state_machine(ctx, &mut st, header, body, &mut outs, &mut deliveries, &mut delivered_bytes);
+            let cost = self.machine.cost();
+            let icost = cost.protocol_layer
+                + cost.user_deliver * deliveries as u64
+                + cost.copy(delivered_bytes);
+            (outs, icost)
+        };
+        ctx.interrupt_compute(icost);
+        for out in outs {
+            match out {
+                WireOut::Unicast(dst, wire) => {
+                    ctx.interrupt_compute(self.machine.cost().kernel_packet_send * fragments_of(wire.len()));
+                    self.send_unicast_raw(ctx, dst, wire);
+                }
+                WireOut::Multicast(wire) => {
+                    ctx.interrupt_compute(self.machine.cost().kernel_packet_send * fragments_of(wire.len()));
+                    self.send_group_raw(ctx, wire);
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn state_machine(
+        &self,
+        ctx: &Ctx,
+        st: &mut GroupState,
+        header: Header,
+        body: Bytes,
+        outs: &mut Vec<WireOut>,
+        deliveries: &mut usize,
+        delivered_bytes: &mut usize,
+    ) {
+        match header.kind {
+            Kind::Req | Kind::ReqBb => {
+                let key = (header.sender, header.msg_id);
+                let bb_data = st.member.bb_store.get(&key).cloned();
+                let Some(seq) = st.seq.as_mut() else { return };
+                if (header.sender as usize) < seq.delivered.len() {
+                    let d = &mut seq.delivered[header.sender as usize];
+                    *d = (*d).max(header.piggyback);
+                }
+                if let Some(&assigned) = seq.seen.get(&key) {
+                    // Duplicate REQ: the sender missed its own message. For
+                    // BB-sized entries the sender still holds the data, so a
+                    // small accept suffices and avoids re-flooding the wire.
+                    if let Some((s, m, payload)) = seq.history.get(&assigned) {
+                        let wire = if payload.len() > self.spec.config.bb_threshold {
+                            Header {
+                                kind: Kind::Accept,
+                                sender: *s,
+                                msg_id: *m,
+                                seqno: assigned,
+                                piggyback: 0,
+                            }
+                            .encode_with(&[])
+                        } else {
+                            Header {
+                                kind: Kind::Seq,
+                                sender: *s,
+                                msg_id: *m,
+                                seqno: assigned,
+                                piggyback: 0,
+                            }
+                            .encode_with(payload)
+                        };
+                        outs.push(WireOut::Unicast(
+                            self.spec.member_addrs[header.sender as usize],
+                            wire,
+                        ));
+                    }
+                    return;
+                }
+                let payload = match header.kind {
+                    Kind::Req => body,
+                    _ => match bb_data {
+                        Some(data) => data,
+                        None => {
+                            // BB data not here yet; hold the request.
+                            seq.pending_bb.insert(key, header.piggyback);
+                            return;
+                        }
+                    },
+                };
+                self.assign_seq(st, header.sender, header.msg_id, payload, outs);
+                self.try_deliver(ctx, st, deliveries, delivered_bytes, outs);
+            }
+            Kind::BbData => {
+                let key = (header.sender, header.msg_id);
+                let already = st
+                    .member
+                    .delivered_msg
+                    .get(&header.sender)
+                    .is_some_and(|&m| m >= header.msg_id);
+                if !already {
+                    st.member.bb_store.insert(key, body.clone());
+                }
+                // If an accept already arrived, the message can now be placed.
+                let slot = st
+                    .member
+                    .accepts
+                    .iter()
+                    .find(|(_, k)| **k == key)
+                    .map(|(s, _)| *s);
+                if let Some(s) = slot {
+                    st.member.accepts.remove(&s);
+                    st.member.ooo.insert(s, (header.sender, header.msg_id, body.clone()));
+                }
+                // The sequencer may have been waiting for this data.
+                if st.seq.is_some() {
+                    let pending = st
+                        .seq
+                        .as_mut()
+                        .and_then(|sq| sq.pending_bb.remove(&key))
+                        .is_some();
+                    if pending {
+                        self.assign_seq(st, header.sender, header.msg_id, body, outs);
+                    }
+                }
+                self.try_deliver(ctx, st, deliveries, delivered_bytes, outs);
+            }
+            Kind::Seq => {
+                if header.seqno >= st.member.next_deliver {
+                    st.member
+                        .ooo
+                        .insert(header.seqno, (header.sender, header.msg_id, body));
+                    st.member.accepts.remove(&header.seqno);
+                }
+                self.try_deliver(ctx, st, deliveries, delivered_bytes, outs);
+                self.request_gap_fill(st, outs);
+            }
+            Kind::Accept => {
+                if header.seqno >= st.member.next_deliver {
+                    let key = (header.sender, header.msg_id);
+                    if let Some(data) = st.member.bb_store.get(&key).cloned() {
+                        st.member.ooo.insert(header.seqno, (key.0, key.1, data));
+                    } else {
+                        st.member.accepts.insert(header.seqno, key);
+                    }
+                }
+                self.try_deliver(ctx, st, deliveries, delivered_bytes, outs);
+                self.request_gap_fill(st, outs);
+            }
+            Kind::RetransReq => {
+                let Some(seq) = st.seq.as_mut() else { return };
+                if (header.sender as usize) < seq.delivered.len() {
+                    let d = &mut seq.delivered[header.sender as usize];
+                    *d = (*d).max(header.piggyback);
+                }
+                let from = header.seqno;
+                let to = (from + self.spec.config.retrans_chunk).min(seq.next_seq);
+                for s in from..to {
+                    if let Some((sender, msg_id, payload)) = seq.history.get(&s) {
+                        let wire = Header {
+                            kind: Kind::Seq,
+                            sender: *sender,
+                            msg_id: *msg_id,
+                            seqno: s,
+                            piggyback: 0,
+                        }
+                        .encode_with(payload);
+                        outs.push(WireOut::Unicast(
+                            self.spec.member_addrs[header.sender as usize],
+                            wire,
+                        ));
+                    }
+                }
+            }
+            Kind::Status => {
+                let Some(seq) = st.seq.as_mut() else { return };
+                if (header.sender as usize) < seq.delivered.len() {
+                    let d = &mut seq.delivered[header.sender as usize];
+                    *d = (*d).max(header.piggyback);
+                }
+                Self::trim_history(seq, self.spec.config.history_max);
+            }
+            // Handled above; a member never receives raw user traffic here.
+        }
+        let _ = ctx;
+    }
+
+    /// Sequencer: assign the next sequence number and emit the ordering
+    /// multicast (data for PB, accept for BB).
+    fn assign_seq(
+        &self,
+        st: &mut GroupState,
+        sender: u32,
+        msg_id: u64,
+        payload: Bytes,
+        outs: &mut Vec<WireOut>,
+    ) {
+        let cfg = &self.spec.config;
+        let big = payload.len() > cfg.bb_threshold;
+        let seq = st.seq.as_mut().expect("assign_seq runs on the sequencer");
+        let s = seq.next_seq;
+        seq.next_seq += 1;
+        seq.seen.insert((sender, msg_id), s);
+        seq.history.insert(s, (sender, msg_id, payload.clone()));
+        Self::trim_history(seq, cfg.history_max);
+        let wire = if big {
+            Header {
+                kind: Kind::Accept,
+                sender,
+                msg_id,
+                seqno: s,
+                piggyback: 0,
+            }
+            .encode_with(&[])
+        } else {
+            Header {
+                kind: Kind::Seq,
+                sender,
+                msg_id,
+                seqno: s,
+                piggyback: 0,
+            }
+            .encode_with(&payload)
+        };
+        outs.push(WireOut::Multicast(wire));
+        // The sequencer places its own copy directly (its member handler will
+        // also see the multicast loopback, which dedups harmlessly).
+        if s >= st.member.next_deliver {
+            st.member.ooo.insert(s, (sender, msg_id, payload));
+            st.member.accepts.remove(&s);
+        }
+    }
+
+    fn trim_history(seq: &mut SeqState, max: usize) {
+        let min_delivered = seq.delivered.iter().copied().min().unwrap_or(0);
+        let keys: Vec<u64> = seq
+            .history
+            .range(..=min_delivered)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in keys {
+            let e = seq.history.remove(&k).expect("key from range");
+            seq.seen.remove(&(e.0, e.1));
+        }
+        while seq.history.len() > max {
+            let (&k, _) = seq.history.iter().next().expect("non-empty");
+            let e = seq.history.remove(&k).expect("key exists");
+            seq.seen.remove(&(e.0, e.1));
+            seq.history_overflow_drops += 1;
+        }
+    }
+
+    /// Deliver everything contiguous; wake local senders; emit status.
+    fn try_deliver(
+        &self,
+        ctx: &Ctx,
+        st: &mut GroupState,
+        deliveries: &mut usize,
+        delivered_bytes: &mut usize,
+        outs: &mut Vec<WireOut>,
+    ) {
+        loop {
+            let next = st.member.next_deliver;
+            let Some((sender, msg_id, payload)) = st.member.ooo.remove(&next) else {
+                break;
+            };
+            st.member.accepts.remove(&next);
+            st.member.bb_store.remove(&(sender, msg_id));
+            let dm = st.member.delivered_msg.entry(sender).or_insert(0);
+            *dm = (*dm).max(msg_id);
+            *deliveries += 1;
+            *delivered_bytes += payload.len();
+            let _ = self.inbox.send(
+                ctx,
+                GroupMessage {
+                    sender,
+                    seq: next,
+                    payload,
+                },
+            );
+            if sender == self.my_id {
+                if let Some(w) = st.member.send_waiters.remove(&msg_id) {
+                    let _ = w.send(ctx, next);
+                }
+            }
+            st.member.next_deliver += 1;
+            st.member.since_status += 1;
+        }
+        if st.member.since_status >= self.spec.config.status_interval && !self.is_sequencer() {
+            st.member.since_status = 0;
+            let wire = Header {
+                kind: Kind::Status,
+                sender: self.my_id,
+                msg_id: 0,
+                seqno: 0,
+                piggyback: st.member.next_deliver - 1,
+            }
+            .encode_with(&[]);
+            outs.push(WireOut::Unicast(self.spec.sequencer_addr(), wire));
+        } else if self.is_sequencer() {
+            let next = st.member.next_deliver;
+            let seq = st.seq.as_mut().expect("sequencer state");
+            seq.delivered[self.spec.sequencer] = seq.delivered[self.spec.sequencer].max(next - 1);
+        }
+    }
+
+    /// If a gap is visible (buffered messages ahead of `next_deliver`), ask
+    /// the sequencer once per gap position to fill it.
+    fn request_gap_fill(&self, st: &mut GroupState, outs: &mut Vec<WireOut>) {
+        let next = st.member.next_deliver;
+        let has_ahead = st
+            .member
+            .ooo
+            .keys()
+            .next()
+            .is_some_and(|&k| k > next)
+            || st.member.accepts.keys().next().is_some_and(|&k| k > next);
+        if has_ahead && st.member.last_gap_request < next && !self.is_sequencer() {
+            st.member.last_gap_request = next;
+            let wire = Header {
+                kind: Kind::RetransReq,
+                sender: self.my_id,
+                msg_id: 0,
+                seqno: next,
+                piggyback: next - 1,
+            }
+            .encode_with(&[]);
+            outs.push(WireOut::Unicast(self.spec.sequencer_addr(), wire));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = Header {
+            kind: Kind::Accept,
+            sender: 3,
+            msg_id: 9,
+            seqno: 1234,
+            piggyback: 1200,
+        };
+        let wire = h.encode_with(b"xyz");
+        assert_eq!(wire.len(), AMOEBA_GROUP_HEADER_BYTES + 3);
+        let (h2, body) = Header::decode(&wire).expect("decode");
+        assert_eq!(h2.kind, Kind::Accept);
+        assert_eq!(h2.sender, 3);
+        assert_eq!(h2.msg_id, 9);
+        assert_eq!(h2.seqno, 1234);
+        assert_eq!(h2.piggyback, 1200);
+        assert_eq!(&body[..], b"xyz");
+    }
+
+    #[test]
+    fn spec_builder_validates() {
+        let spec = GroupSpec::build(1, 4, 0);
+        assert_eq!(spec.member_addrs.len(), 4);
+        assert_eq!(spec.sequencer_addr(), spec.member_addrs[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequencer must be a member")]
+    fn bad_sequencer_rejected() {
+        let _ = GroupSpec::build(1, 2, 5);
+    }
+}

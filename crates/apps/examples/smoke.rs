@@ -1,0 +1,16 @@
+//! Quick smoke run of every application at toy scale on all implementations.
+use apps::{ProtoImpl, RunConfig};
+
+fn main() {
+    for imp in [ProtoImpl::KernelSpace, ProtoImpl::UserSpace, ProtoImpl::UserSpaceDedicated] {
+        for nodes in [1u32, 3] {
+            let cfg = RunConfig::new(nodes, imp, 1);
+            println!("{}", apps::tsp::run(&cfg, &apps::tsp::TspParams::small()));
+            println!("{}", apps::asp::run(&cfg, &apps::asp::AspParams::small()));
+            println!("{}", apps::ab::run(&cfg, &apps::ab::AbParams::small()));
+            println!("{}", apps::rl::run(&cfg, &apps::rl::RlParams::small()));
+            println!("{}", apps::sor::run(&cfg, &apps::sor::SorParams::small()));
+            println!("{}", apps::leq::run(&cfg, &apps::leq::LeqParams::small()));
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Shared harness: builds the paper's processor pool (8 machines per
+//! 10 Mbit/s Ethernet segment, segments joined by a switch), brings up one
+//! of the protocol implementations, runs an application's workers to
+//! completion, and reports virtual execution time and communication
+//! statistics.
+
+use std::fmt;
+use std::sync::Arc;
+
+use desim::{Ctx, SimDuration, Simulation};
+use ethernet::{MacAddr, NetConfig, Network};
+use amoeba::{CostModel, Machine};
+use orca::{OrcaRts, OrcaWorld, RtsStats};
+use panda::{KernelSpacePanda, Panda, PandaConfig, UserSpacePanda};
+
+/// Scheduling quantum used by application compute phases: work is charged
+/// in slices of this size so protocol daemons interleave, approximating
+/// Amoeba's preemptive kernel threads.
+pub const CPU_QUANTUM: SimDuration = SimDuration::from_millis(1);
+
+/// Which protocol implementation an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtoImpl {
+    /// Amoeba's kernel-space protocols behind Panda wrappers.
+    KernelSpace,
+    /// Panda's user-space protocols over raw FLIP.
+    UserSpace,
+    /// User-space with a dedicated sequencer machine (one extra machine that
+    /// runs only the sequencer — the paper's `User-space-dedicated`).
+    UserSpaceDedicated,
+}
+
+impl fmt::Display for ProtoImpl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoImpl::KernelSpace => write!(f, "Kernel-space"),
+            ProtoImpl::UserSpace => write!(f, "User-space"),
+            ProtoImpl::UserSpaceDedicated => write!(f, "User-space-dedicated"),
+        }
+    }
+}
+
+/// Cluster-level configuration for one run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Number of application nodes (worker processes).
+    pub nodes: u32,
+    /// Protocol implementation under test.
+    pub implementation: ProtoImpl,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Machines per Ethernet segment (the paper's pool wires 8).
+    pub per_segment: u32,
+}
+
+impl RunConfig {
+    /// A run with the paper's pool layout.
+    pub fn new(nodes: u32, implementation: ProtoImpl, seed: u64) -> Self {
+        RunConfig {
+            nodes,
+            implementation,
+            seed,
+            per_segment: 8,
+        }
+    }
+}
+
+/// Outcome of one application run.
+#[derive(Debug, Clone)]
+pub struct AppReport {
+    /// Application name.
+    pub app: &'static str,
+    /// Implementation used.
+    pub implementation: ProtoImpl,
+    /// Application nodes.
+    pub nodes: u32,
+    /// Virtual wall-clock time of the whole run.
+    pub elapsed: SimDuration,
+    /// Application-defined answer (for cross-implementation checking).
+    pub checksum: i64,
+    /// Summed runtime statistics over all nodes.
+    pub rts: RtsStats,
+    /// Total frames carried by the network.
+    pub frames: u64,
+    /// Total wire bytes carried by the network.
+    pub wire_bytes: u64,
+}
+
+impl fmt::Display for AppReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<22} {:<20} {:>3} nodes  {:>10.2}s  checksum {}",
+            self.app,
+            self.implementation.to_string(),
+            self.nodes,
+            self.elapsed.as_secs_f64(),
+            self.checksum
+        )
+    }
+}
+
+/// A built cluster ready to run one application.
+pub struct Cluster {
+    /// The simulation driver.
+    pub sim: Simulation,
+    /// The network (for stats and fault injection).
+    pub net: Network,
+    /// The Orca world spanning the application nodes.
+    pub world: OrcaWorld,
+}
+
+impl fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cluster").field("nodes", &self.world.nodes()).finish()
+    }
+}
+
+/// Builds the pool: machines spread over segments of `per_segment`, a switch
+/// when more than one segment, the chosen Panda implementation, and the Orca
+/// world on top.
+pub fn build_cluster(cfg: &RunConfig) -> Cluster {
+    let mut sim = Simulation::new(cfg.seed);
+    let mut net = Network::new(NetConfig::default());
+    let total_machines = match cfg.implementation {
+        ProtoImpl::UserSpaceDedicated => cfg.nodes + 1,
+        _ => cfg.nodes,
+    };
+    let n_segments = total_machines.div_ceil(cfg.per_segment).max(1);
+    let segments: Vec<_> = (0..n_segments)
+        .map(|s| net.add_segment(&mut sim, &format!("seg{s}")))
+        .collect();
+    if segments.len() > 1 {
+        net.add_switch(&mut sim, &segments, "pool");
+    }
+    let machines: Vec<Machine> = (0..total_machines)
+        .map(|i| {
+            Machine::boot(
+                &mut sim,
+                &mut net,
+                segments[(i / cfg.per_segment) as usize],
+                MacAddr(i),
+                &format!("m{i}"),
+                CostModel::default(),
+            )
+        })
+        .collect();
+    let pandas: Vec<Arc<dyn Panda>> = match cfg.implementation {
+        ProtoImpl::KernelSpace => KernelSpacePanda::build(&mut sim, &machines, &PandaConfig::default())
+            .into_iter()
+            .map(|p| p as Arc<dyn Panda>)
+            .collect(),
+        ProtoImpl::UserSpace => UserSpacePanda::build(&mut sim, &machines, &PandaConfig::default())
+            .into_iter()
+            .map(|p| p as Arc<dyn Panda>)
+            .collect(),
+        ProtoImpl::UserSpaceDedicated => {
+            let pc = PandaConfig {
+                dedicated_sequencer: true,
+                ..PandaConfig::default()
+            };
+            UserSpacePanda::build(&mut sim, &machines, &pc)
+                .into_iter()
+                .map(|p| p as Arc<dyn Panda>)
+                .collect()
+        }
+    };
+    assert_eq!(pandas.len() as u32, cfg.nodes);
+    let world = OrcaWorld::build(&pandas);
+    Cluster { sim, net, world }
+}
+
+/// Spawns one worker process per node and runs the cluster until all have
+/// finished. Returns `(elapsed virtual time, per-node results)`.
+///
+/// # Panics
+///
+/// Panics if the simulation deadlocks (a bug in an application or protocol).
+pub fn run_workers<F>(cluster: &mut Cluster, worker: F) -> (SimDuration, Vec<i64>)
+where
+    F: Fn(&Ctx, u32, Arc<OrcaRts>) -> i64 + Send + Sync + 'static,
+{
+    let worker = Arc::new(worker);
+    let results = Arc::new(parking_lot::Mutex::new(vec![0i64; cluster.world.nodes() as usize]));
+    let start = cluster.sim.now();
+    for node in 0..cluster.world.nodes() {
+        let rts = cluster.world.rts(node);
+        let worker = Arc::clone(&worker);
+        let results = Arc::clone(&results);
+        let proc = rts.panda().machine().proc();
+        cluster.sim.spawn(proc, &format!("orca-p{node}"), move |ctx| {
+            let r = worker(ctx, node, Arc::clone(&rts));
+            results.lock()[node as usize] = r;
+        });
+    }
+    cluster
+        .sim
+        .run()
+        .unwrap_or_else(|e| panic!("application run failed: {e}"));
+    let elapsed = cluster.sim.now().saturating_duration_since(start);
+    let results = results.lock().clone();
+    (elapsed, results)
+}
+
+/// Collects a report after [`run_workers`].
+pub fn report(
+    app: &'static str,
+    cfg: &RunConfig,
+    cluster: &Cluster,
+    elapsed: SimDuration,
+    checksum: i64,
+) -> AppReport {
+    let mut rts = RtsStats::default();
+    for node in 0..cluster.world.nodes() {
+        let s = cluster.world.rts(node).stats();
+        rts.local_ops += s.local_ops;
+        rts.rpcs += s.rpcs;
+        rts.broadcasts += s.broadcasts;
+        rts.continuations_queued += s.continuations_queued;
+        rts.continuations_resumed += s.continuations_resumed;
+    }
+    let net = cluster.net.total_stats();
+    AppReport {
+        app,
+        implementation: cfg.implementation,
+        nodes: cfg.nodes,
+        elapsed,
+        checksum,
+        rts,
+        frames: net.frames,
+        wire_bytes: net.wire_bytes,
+    }
+}

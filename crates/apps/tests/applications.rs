@@ -1,0 +1,129 @@
+//! Application-level integration tests: distributed runs must produce the
+//! sequential reference answers on every protocol implementation, and basic
+//! scaling/structural properties from the paper must hold even at toy scale.
+
+use apps::{ProtoImpl, RunConfig};
+
+const IMPLS: [ProtoImpl; 3] = [
+    ProtoImpl::KernelSpace,
+    ProtoImpl::UserSpace,
+    ProtoImpl::UserSpaceDedicated,
+];
+
+#[test]
+fn tsp_matches_sequential_everywhere() {
+    let params = apps::tsp::TspParams::small();
+    let inst = apps::tsp::Instance::generate(params.instance_seed, params.cities);
+    let expected = apps::tsp::solve_sequential(&inst);
+    for imp in IMPLS {
+        for nodes in [1, 3] {
+            let r = apps::tsp::run(&RunConfig::new(nodes, imp, 7), &params);
+            assert_eq!(r.checksum, expected, "{imp} {nodes} nodes");
+        }
+    }
+}
+
+#[test]
+fn asp_matches_sequential_everywhere() {
+    let params = apps::asp::AspParams::small();
+    let graph = apps::asp::generate_graph(params.instance_seed, params.vertices);
+    let expected = apps::asp::solve_sequential(&graph);
+    for imp in IMPLS {
+        for nodes in [1, 4] {
+            let r = apps::asp::run(&RunConfig::new(nodes, imp, 7), &params);
+            assert_eq!(r.checksum, expected, "{imp} {nodes} nodes");
+        }
+    }
+}
+
+#[test]
+fn ab_matches_sequential_everywhere() {
+    let params = apps::ab::AbParams::small();
+    let (expected, _) = apps::ab::solve_sequential(&params);
+    for imp in IMPLS {
+        for nodes in [1, 3] {
+            let r = apps::ab::run(&RunConfig::new(nodes, imp, 7), &params);
+            assert_eq!(r.checksum, expected, "{imp} {nodes} nodes");
+        }
+    }
+}
+
+#[test]
+fn rl_matches_sequential_everywhere() {
+    let params = apps::rl::RlParams::small();
+    let expected = apps::rl::solve_sequential(&params);
+    for imp in IMPLS {
+        for nodes in [1, 3] {
+            let r = apps::rl::run(&RunConfig::new(nodes, imp, 7), &params);
+            assert_eq!(r.checksum, expected, "{imp} {nodes} nodes");
+        }
+    }
+}
+
+#[test]
+fn sor_matches_sequential_everywhere() {
+    let params = apps::sor::SorParams::small();
+    let expected = apps::sor::solve_sequential(&params);
+    for imp in IMPLS {
+        for nodes in [1, 3] {
+            let r = apps::sor::run(&RunConfig::new(nodes, imp, 7), &params);
+            assert_eq!(r.checksum, expected, "{imp} {nodes} nodes (bit-exact)");
+        }
+    }
+}
+
+#[test]
+fn leq_matches_sequential_everywhere() {
+    let params = apps::leq::LeqParams::small();
+    let expected = apps::leq::solve_sequential(&params);
+    for imp in IMPLS {
+        for nodes in [1, 4] {
+            let r = apps::leq::run(&RunConfig::new(nodes, imp, 7), &params);
+            assert_eq!(r.checksum, expected, "{imp} {nodes} nodes (bit-exact)");
+        }
+    }
+}
+
+#[test]
+fn parallelism_speeds_up_the_coarse_grained_apps() {
+    let params = apps::tsp::TspParams::small();
+    let t1 = apps::tsp::run(&RunConfig::new(1, ProtoImpl::UserSpace, 7), &params).elapsed;
+    let t4 = apps::tsp::run(&RunConfig::new(4, ProtoImpl::UserSpace, 7), &params).elapsed;
+    let speedup = t1.as_secs_f64() / t4.as_secs_f64();
+    // At toy scale the promising-first job order prunes so aggressively that
+    // one subtree dominates; full-scale speedups are measured in Table 3.
+    assert!(speedup > 1.5, "TSP on 4 nodes should still speed up, got {speedup:.2}");
+}
+
+#[test]
+fn rl_uses_guarded_buffer_continuations() {
+    let params = apps::rl::RlParams::small();
+    let r = apps::rl::run(&RunConfig::new(3, ProtoImpl::UserSpace, 7), &params);
+    assert!(
+        r.rts.continuations_queued > 0,
+        "remote BufGet must block and be queued as continuations"
+    );
+    assert_eq!(r.rts.continuations_queued, r.rts.continuations_resumed);
+}
+
+#[test]
+fn leq_broadcast_count_scales_with_nodes() {
+    let params = apps::leq::LeqParams::small();
+    let r4 = apps::leq::run(&RunConfig::new(4, ProtoImpl::KernelSpace, 7), &params);
+    let r2 = apps::leq::run(&RunConfig::new(2, ProtoImpl::KernelSpace, 7), &params);
+    // One broadcast per node per iteration (plus barrier-free assembly).
+    assert_eq!(
+        r4.rts.broadcasts,
+        u64::from(params.iterations) * 4,
+        "4-node broadcast count"
+    );
+    assert_eq!(r2.rts.broadcasts, u64::from(params.iterations) * 2);
+}
+
+#[test]
+fn asp_broadcast_count_matches_vertices() {
+    // The paper: one group message per pivot row (768 at full scale).
+    let params = apps::asp::AspParams::small();
+    let r = apps::asp::run(&RunConfig::new(4, ProtoImpl::KernelSpace, 7), &params);
+    assert_eq!(r.rts.broadcasts, params.vertices as u64);
+}

@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks of the simulator substrate itself: scheduler
+//! hand-off rate, channel operations, and FLIP fragmentation/reassembly.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use desim::{us, SimChannel, Simulation};
+use ethernet::{MacAddr, NetConfig, Network};
+use flip::{FlipAddr, FlipIface, PacketHeader, PacketType};
+
+fn bench_scheduler_handoff(c: &mut Criterion) {
+    c.bench_function("desim/10k_sleep_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1);
+            let cpu = sim.add_processor("m0");
+            sim.spawn(cpu, "sleeper", |ctx| {
+                for _ in 0..10_000 {
+                    ctx.sleep(us(1));
+                }
+            });
+            sim.run().expect("run");
+        });
+    });
+}
+
+fn bench_channel_pingpong(c: &mut Criterion) {
+    c.bench_function("desim/channel_pingpong_1k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1);
+            let cpu = sim.add_processor("m0");
+            let a: SimChannel<u32> = SimChannel::new();
+            let z: SimChannel<u32> = SimChannel::new();
+            let (a2, z2) = (a.clone(), z.clone());
+            sim.spawn_daemon(cpu, "echo", move |ctx| {
+                while let Some(v) = a2.recv(ctx) {
+                    let _ = z2.send(ctx, v);
+                }
+            });
+            let h = sim.spawn(cpu, "driver", move |ctx| {
+                for i in 0..1000u32 {
+                    let _ = a.send(ctx, i);
+                    let _ = z.recv(ctx);
+                }
+            });
+            sim.run_until_finished(&h).expect("run");
+        });
+    });
+}
+
+fn bench_flip_codec(c: &mut Criterion) {
+    let header = PacketHeader {
+        dst: FlipAddr(1),
+        src: FlipAddr(2),
+        msg_id: 3,
+        offset: 0,
+        total_len: 1460,
+        ptype: PacketType::Data,
+        multicast: false,
+    };
+    let body = vec![0u8; 1420];
+    c.bench_function("flip/encode_decode_packet", |b| {
+        b.iter(|| {
+            let wire = header.encode_with(&body);
+            let (h, d) = PacketHeader::decode(&wire).expect("decode");
+            std::hint::black_box((h, d));
+        });
+    });
+}
+
+fn bench_flip_roundtrip(c: &mut Criterion) {
+    c.bench_function("flip/4k_message_over_wire", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1);
+            let mut net = Network::new(NetConfig::default());
+            let seg = net.add_segment(&mut sim, "s0");
+            let tx = FlipIface::new(net.attach(MacAddr(0), seg));
+            let rx = FlipIface::new(net.attach(MacAddr(1), seg));
+            rx.register(FlipAddr(9));
+            let proc = sim.add_processor("m");
+            let rx2 = rx.clone();
+            let tx_pump = tx.clone();
+            sim.spawn_daemon(proc, "tx-pump", move |ctx| {
+                let frames = tx_pump.nic().rx().clone();
+                while let Some(frame) = frames.recv(ctx) {
+                    let _ = tx_pump.handle_frame(ctx, &frame);
+                }
+            });
+            let h = sim.spawn(proc, "driver", move |ctx| {
+                tx.send(ctx, FlipAddr(1), FlipAddr(9), Bytes::from(vec![0u8; 4096]));
+                let frames = rx2.nic().rx().clone();
+                let mut got = 0;
+                while got == 0 {
+                    let frame = frames.recv(ctx).expect("frame");
+                    got += rx2.handle_frame(ctx, &frame).len();
+                }
+            });
+            sim.run_until_finished(&h).expect("run");
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler_handoff,
+    bench_channel_pingpong,
+    bench_flip_codec,
+    bench_flip_roundtrip
+);
+criterion_main!(benches);

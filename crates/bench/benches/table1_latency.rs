@@ -1,0 +1,26 @@
+//! Regenerates **Table 1** of the paper: communication latencies of the
+//! system-layer primitives, the RPC protocols, and the group protocols, for
+//! message sizes 0–4 KB, side by side with the published numbers.
+//!
+//! Run with `cargo bench -p bench --bench table1_latency`.
+
+fn main() {
+    let cost = amoeba::CostModel::default();
+    println!("Table 1 — Communication latencies [ms], simulated vs paper\n");
+    let rows = bench::table1(&cost);
+    println!("{}", bench::format_table1(&rows));
+    // Headline checks (the paper's qualitative claims).
+    let r0 = &rows[0];
+    println!(
+        "null-RPC gap   (user - kernel): {:+.2} ms (paper: +0.29 ms)",
+        r0.rpc_user_ms - r0.rpc_kernel_ms
+    );
+    println!(
+        "null-group gap (user - kernel): {:+.2} ms (paper: +0.23 ms)",
+        r0.group_user_ms - r0.group_kernel_ms
+    );
+    println!(
+        "multicast ≈ unicast (hardware multicast): {:.2} vs {:.2} ms",
+        r0.multicast_user_ms, r0.unicast_user_ms
+    );
+}

@@ -1,0 +1,29 @@
+//! Regenerates **Table 2** of the paper: RPC and group communication
+//! throughput with 8000-byte messages.
+//!
+//! Run with `cargo bench -p bench --bench table2_throughput`.
+
+fn main() {
+    let cost = amoeba::CostModel::default();
+    println!("Table 2 — Communication throughputs [KB/s], simulated vs paper\n");
+    let t = bench::table2(&cost);
+    let p = bench::PAPER_TABLE2;
+    println!("                      sim    paper");
+    println!("  RPC   user-space  {:>6.0}  {:>6.0}", t.rpc_user_kbs, p.rpc_user_kbs);
+    println!("  RPC   kernel      {:>6.0}  {:>6.0}", t.rpc_kernel_kbs, p.rpc_kernel_kbs);
+    println!("  group user-space  {:>6.0}  {:>6.0}", t.group_user_kbs, p.group_user_kbs);
+    println!("  group kernel      {:>6.0}  {:>6.0}", t.group_kernel_kbs, p.group_kernel_kbs);
+    println!();
+    println!(
+        "kernel RPC beats user RPC: {}",
+        if t.rpc_kernel_kbs > t.rpc_user_kbs {
+            "yes (as in the paper)"
+        } else {
+            "NO"
+        }
+    );
+    println!(
+        "group throughputs equal under saturation: {:.2}x (paper: 1.00x)",
+        t.group_user_kbs / t.group_kernel_kbs
+    );
+}

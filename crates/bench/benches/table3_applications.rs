@@ -1,0 +1,65 @@
+//! Regenerates **Table 3** of the paper: execution times of the six parallel
+//! Orca applications on 1/8/16/32 processors under the kernel-space and
+//! user-space implementations (plus the dedicated-sequencer rows for LEQ),
+//! with maximum speedups.
+//!
+//! Run with `cargo bench -p bench --bench table3_applications`. Set
+//! `TABLE3_SCALE=small` for a fast smoke pass; the default runs paper-scale
+//! workloads and takes a while.
+
+use apps::ProtoImpl;
+use bench::{paper_table3, run_app, Scale, TABLE3_APPS};
+
+const NODE_COUNTS: [u32; 4] = [1, 8, 16, 32];
+
+fn main() {
+    let scale = Scale::from_env(Scale::Paper);
+    println!("Table 3 — Orca application execution times [s], simulated (paper)\n");
+    println!(
+        "{:<6} {:<22} {:>14} {:>14} {:>14} {:>14}  {:>8}",
+        "app", "implementation", "1", "8", "16", "32", "speedup"
+    );
+    for app in TABLE3_APPS {
+        let impls: &[ProtoImpl] = if app == "leq" {
+            &[
+                ProtoImpl::KernelSpace,
+                ProtoImpl::UserSpace,
+                ProtoImpl::UserSpaceDedicated,
+            ]
+        } else {
+            &[ProtoImpl::KernelSpace, ProtoImpl::UserSpace]
+        };
+        let mut checksums = Vec::new();
+        for &imp in impls {
+            let mut cells = Vec::new();
+            let mut t1 = None;
+            let mut best = f64::INFINITY;
+            for &nodes in &NODE_COUNTS {
+                let r = run_app(app, imp, nodes, scale);
+                checksums.push(r.checksum);
+                let secs = r.elapsed.as_secs_f64();
+                if nodes == 1 {
+                    t1 = Some(secs);
+                }
+                best = best.min(secs);
+                let paper = paper_table3(app, imp, nodes)
+                    .map(|v| format!("({v:.0})"))
+                    .unwrap_or_default();
+                cells.push(format!("{secs:>7.1} {paper:>6}"));
+            }
+            let speedup = t1.expect("1-node ran") / best;
+            println!(
+                "{:<6} {:<22} {} {:>7.1}x",
+                app,
+                imp.to_string(),
+                cells.join(" "),
+                speedup
+            );
+        }
+        assert!(
+            checksums.iter().all(|c| *c == checksums[0]),
+            "{app}: all implementations and node counts must agree on the result"
+        );
+    }
+    println!("\n(parenthesised values: the paper's Table 3)");
+}

@@ -1,0 +1,16 @@
+//! Runs a single Table 3 cell: `t3probe <app> <nodes> <kernel|user|dedicated>`.
+use apps::ProtoImpl;
+
+fn main() {
+    let arg: Vec<String> = std::env::args().collect();
+    let app = arg.get(1).map(|s| s.as_str()).unwrap_or("leq");
+    let nodes: u32 = arg.get(2).and_then(|s| s.parse().ok()).unwrap_or(32);
+    let imp = match arg.get(3).map(|s| s.as_str()) {
+        Some("kernel") => ProtoImpl::KernelSpace,
+        Some("dedicated") => ProtoImpl::UserSpaceDedicated,
+        _ => ProtoImpl::UserSpace,
+    };
+    let t0 = std::time::Instant::now();
+    let r = bench::run_app(app, imp, nodes, bench::Scale::from_env(bench::Scale::Paper));
+    println!("{r}  [wall {:.1}s]", t0.elapsed().as_secs_f64());
+}

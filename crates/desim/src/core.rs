@@ -1,0 +1,471 @@
+//! Internal scheduler state shared between the [`crate::Simulation`] driver
+//! and the simulated threads.
+//!
+//! Exactly one party runs at a time: either the scheduler (inside
+//! `Simulation::run*`) or a single simulated thread. Control is handed back
+//! and forth through a per-thread [`Conduit`]. Because of this strict
+//! alternation the global [`CoreState`] mutex is never contended; it exists
+//! to satisfy the borrow checker and `Send` bounds, not for parallelism.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::time::{SimDuration, SimTime};
+use crate::Ctx;
+
+/// Identifies a simulated thread within one [`crate::Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub(crate) usize);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifies a simulated processor (one CPU) within one [`crate::Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub(crate) usize);
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Why a blocked thread resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WakeStatus {
+    /// A wake event fired for the registered wait.
+    Woken,
+    /// The simulation is shutting down; the thread must unwind.
+    Shutdown,
+}
+
+/// Payload used to unwind simulated threads when the simulation is dropped.
+pub(crate) struct ShutdownUnwind;
+
+/// Unwinds the current simulated thread because the simulation is shutting
+/// down. If the thread is already unwinding (a destructor re-entered a
+/// blocking primitive), returns so the caller can produce a benign fallback
+/// value instead of triggering a double panic.
+pub(crate) fn shutdown_unwind_unless_panicking() {
+    if !std::thread::panicking() {
+        panic::panic_any(ShutdownUnwind);
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ThreadState {
+    /// Waiting for a wake event (also the initial state before first run).
+    Blocked,
+    /// Currently executing (the scheduler is parked in `resume_and_wait`).
+    Running,
+    /// The thread body returned or unwound.
+    Finished,
+}
+
+/// Hand-off cell between the scheduler and one simulated thread.
+pub(crate) struct Conduit {
+    turn: Mutex<Turn>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Turn {
+    Scheduler,
+    Thread,
+}
+
+impl Conduit {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Conduit {
+            turn: Mutex::new(Turn::Scheduler),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Scheduler side: give the thread the turn and wait until it yields back.
+    pub(crate) fn resume_and_wait(&self) {
+        let mut g = self.turn.lock();
+        *g = Turn::Thread;
+        self.cv.notify_all();
+        while *g == Turn::Thread {
+            self.cv.wait(&mut g);
+        }
+    }
+
+    /// Thread side: wait until the scheduler gives us the turn (initial start).
+    pub(crate) fn wait_for_turn(&self) {
+        let mut g = self.turn.lock();
+        while *g == Turn::Scheduler {
+            self.cv.wait(&mut g);
+        }
+    }
+
+    /// Thread side: yield the turn to the scheduler and wait to be resumed.
+    pub(crate) fn yield_to_scheduler(&self) {
+        let mut g = self.turn.lock();
+        *g = Turn::Scheduler;
+        self.cv.notify_all();
+        while *g == Turn::Scheduler {
+            self.cv.wait(&mut g);
+        }
+    }
+
+    /// Thread side: final yield on exit; does not wait for another turn.
+    pub(crate) fn final_yield(&self) {
+        let mut g = self.turn.lock();
+        *g = Turn::Scheduler;
+        self.cv.notify_all();
+    }
+}
+
+pub(crate) struct ThreadRecord {
+    pub name: String,
+    pub proc: ProcId,
+    pub conduit: Arc<Conduit>,
+    pub state: ThreadState,
+    /// Monotonic token; a wake event only fires if its token matches.
+    pub wait_id: u64,
+    /// Diagnostic label describing what the thread is blocked on.
+    pub blocked_on: &'static str,
+    pub daemon: bool,
+    pub joiners: Vec<(ThreadId, u64)>,
+    pub panic: Option<String>,
+    pub os_handle: Option<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct ProcRecord {
+    pub name: String,
+    /// Thread currently occupying the CPU at thread level.
+    pub holder: Option<ThreadId>,
+    /// Last *thread-level* occupant; interrupt-level work does not update
+    /// this, which is exactly why a kernel-space RPC reply resumes the
+    /// blocked client without a context-switch charge.
+    pub last_thread_holder: Option<ThreadId>,
+    pub waiters: VecDeque<(ThreadId, u64)>,
+    /// Total interrupt-level CPU time stolen on this processor; thread-level
+    /// `compute` calls extend themselves by the amount stolen during their
+    /// occupancy.
+    pub stolen_total: SimDuration,
+    /// Cost charged when the CPU is granted to a different thread than
+    /// `last_thread_holder`.
+    pub switch_cost: SimDuration,
+    pub busy: SimDuration,
+    pub switches: u64,
+    pub interrupt_time: SimDuration,
+}
+
+struct Event {
+    time: SimTime,
+    seq: u64,
+    thread: ThreadId,
+    wait_id: u64,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+pub(crate) struct TraceEntry {
+    pub time: SimTime,
+    pub thread: String,
+    pub message: String,
+}
+
+pub(crate) struct CoreState {
+    pub now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Event>,
+    pub threads: Vec<ThreadRecord>,
+    pub procs: Vec<ProcRecord>,
+    pub events_processed: u64,
+    pub shutdown: bool,
+    pub rng: SmallRng,
+    pub trace: Option<Vec<TraceEntry>>,
+    pub trace_cap: usize,
+}
+
+impl CoreState {
+    pub(crate) fn schedule_wake(&mut self, at: SimTime, thread: ThreadId, wait_id: u64) {
+        debug_assert!(at >= self.now, "cannot schedule a wake in the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event {
+            time: at,
+            seq,
+            thread,
+            wait_id,
+        });
+    }
+
+    /// Schedules a wake at the current instant (ordered after everything
+    /// already scheduled for this instant).
+    pub(crate) fn schedule_wake_now(&mut self, thread: ThreadId, wait_id: u64) {
+        let now = self.now;
+        self.schedule_wake(now, thread, wait_id);
+    }
+
+    /// Marks `thread` as blocked and returns the wait token a waker must use.
+    ///
+    /// No state assertion: during shutdown a destructor may re-enter a
+    /// blocking primitive while the record is already `Blocked`.
+    pub(crate) fn prepare_block(&mut self, thread: ThreadId, label: &'static str) -> u64 {
+        let rec = &mut self.threads[thread.0];
+        rec.wait_id += 1;
+        rec.state = ThreadState::Blocked;
+        rec.blocked_on = label;
+        rec.wait_id
+    }
+
+    fn pop_event(&mut self) -> Option<Event> {
+        self.queue.pop()
+    }
+
+    pub(crate) fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+pub(crate) struct Core {
+    pub state: Mutex<CoreState>,
+}
+
+impl Core {
+    pub(crate) fn new(seed: u64) -> Arc<Core> {
+        Arc::new(Core {
+            state: Mutex::new(CoreState {
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                threads: Vec::new(),
+                procs: Vec::new(),
+                events_processed: 0,
+                shutdown: false,
+                rng: SmallRng::seed_from_u64(seed),
+                trace: None,
+                trace_cap: 100_000,
+            }),
+        })
+    }
+
+    pub(crate) fn add_processor(
+        self: &Arc<Self>,
+        name: &str,
+        switch_cost: SimDuration,
+    ) -> ProcId {
+        let mut st = self.state.lock();
+        let id = ProcId(st.procs.len());
+        st.procs.push(ProcRecord {
+            name: name.to_owned(),
+            holder: None,
+            last_thread_holder: None,
+            waiters: VecDeque::new(),
+            stolen_total: SimDuration::ZERO,
+            switch_cost,
+            busy: SimDuration::ZERO,
+            switches: 0,
+            interrupt_time: SimDuration::ZERO,
+        });
+        id
+    }
+
+    /// Spawns a simulated thread; shared implementation behind
+    /// `Simulation::spawn*` and `Ctx::spawn*`.
+    pub(crate) fn spawn_thread<F>(
+        self: &Arc<Self>,
+        proc: ProcId,
+        name: &str,
+        daemon: bool,
+        f: F,
+    ) -> ThreadId
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        let conduit = Conduit::new();
+        let tid;
+        {
+            let mut st = self.state.lock();
+            assert!(
+                proc.0 < st.procs.len(),
+                "spawn: unknown processor {proc}; call add_processor first"
+            );
+            tid = ThreadId(st.threads.len());
+            st.threads.push(ThreadRecord {
+                name: name.to_owned(),
+                proc,
+                conduit: Arc::clone(&conduit),
+                state: ThreadState::Blocked,
+                wait_id: 0,
+                blocked_on: "start",
+                daemon,
+                joiners: Vec::new(),
+                panic: None,
+                os_handle: None,
+            });
+            if st.shutdown {
+                // The simulation is being torn down; never start the body.
+                st.threads[tid.0].state = ThreadState::Finished;
+                return tid;
+            }
+            st.schedule_wake_now(tid, 0);
+        }
+
+        let core = Arc::clone(self);
+        let thread_conduit = Arc::clone(&conduit);
+        let os_name = format!("sim-{name}");
+        let handle = std::thread::Builder::new()
+            .name(os_name)
+            .spawn(move || {
+                thread_conduit.wait_for_turn();
+                let run_body = !core.state.lock().shutdown;
+                let mut panic_msg = None;
+                if run_body {
+                    let ctx = Ctx::new(Arc::clone(&core), tid);
+                    let result = panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+                    if let Err(payload) = result {
+                        if !payload.is::<ShutdownUnwind>() {
+                            // `&*payload`: borrow the contents, not the Box
+                            // (a `&Box<dyn Any>` would unsize to `&dyn Any`
+                            // *as a Box* and every downcast would miss).
+                            panic_msg = Some(payload_to_string(&*payload));
+                        }
+                    }
+                }
+                {
+                    let mut st = core.state.lock();
+                    let joiners = {
+                        let rec = &mut st.threads[tid.0];
+                        rec.state = ThreadState::Finished;
+                        rec.panic = panic_msg;
+                        std::mem::take(&mut rec.joiners)
+                    };
+                    for (jt, jw) in joiners {
+                        st.schedule_wake_now(jt, jw);
+                    }
+                }
+                thread_conduit.final_yield();
+            })
+            .expect("failed to spawn OS thread backing a simulated thread");
+
+        self.state.lock().threads[tid.0].os_handle = Some(handle);
+        tid
+    }
+
+    /// Processes the next event. Returns `false` when the queue is empty.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from simulated threads.
+    pub(crate) fn step(self: &Arc<Self>) -> bool {
+        let resume = {
+            let mut st = self.state.lock();
+            let Some(ev) = st.pop_event() else {
+                return false;
+            };
+            debug_assert!(ev.time >= st.now);
+            st.now = ev.time;
+            st.events_processed += 1;
+            let rec = &mut st.threads[ev.thread.0];
+            if rec.state == ThreadState::Blocked && rec.wait_id == ev.wait_id {
+                rec.state = ThreadState::Running;
+                Some((ev.thread, Arc::clone(&rec.conduit)))
+            } else {
+                None // stale wake; the thread moved on or already finished
+            }
+        };
+        if let Some((tid, conduit)) = resume {
+            conduit.resume_and_wait();
+            let panic_info = {
+                let mut st = self.state.lock();
+                let rec = &mut st.threads[tid.0];
+                rec.panic.take().map(|msg| (rec.name.clone(), msg))
+            };
+            if let Some((name, msg)) = panic_info {
+                panic!("simulated thread '{name}' panicked: {msg}");
+            }
+        }
+        true
+    }
+
+    pub(crate) fn initiate_shutdown(self: &Arc<Self>) {
+        self.state.lock().shutdown = true;
+        // Round-robin resume every unfinished thread until all have unwound.
+        // A destructor may block again during unwinding (it receives benign
+        // fallback values), so several rounds can be needed.
+        for _ in 0..64 {
+            let pending: Vec<Arc<Conduit>> = {
+                let st = self.state.lock();
+                st.threads
+                    .iter()
+                    .filter(|t| t.state != ThreadState::Finished)
+                    .map(|t| Arc::clone(&t.conduit))
+                    .collect()
+            };
+            if pending.is_empty() {
+                break;
+            }
+            for c in pending {
+                c.resume_and_wait();
+            }
+        }
+        let handles: Vec<_> = {
+            let mut st = self.state.lock();
+            st.threads
+                .iter_mut()
+                .filter_map(|t| t.os_handle.take())
+                .collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+pub(crate) fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Installs a process-wide panic hook that silences the internal
+/// [`ShutdownUnwind`] payload used to tear simulated threads down.
+pub(crate) fn install_quiet_shutdown_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<ShutdownUnwind>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}

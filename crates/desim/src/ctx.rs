@@ -1,0 +1,322 @@
+//! The per-thread handle simulated code uses to interact with virtual time,
+//! the CPU model, and the scheduler.
+
+use std::sync::Arc;
+
+use rand::RngExt;
+
+use crate::core::{
+    shutdown_unwind_unless_panicking, Core, ProcId, ThreadId, TraceEntry, WakeStatus,
+};
+use crate::time::{SimDuration, SimTime};
+use crate::ThreadHandle;
+
+/// How a [`Ctx::compute_charged`] call accounts for the context switch that
+/// (possibly) precedes it.
+///
+/// The Amoeba paper's central asymmetry is *who pays for thread switches*:
+/// kernel-space protocol work runs at interrupt level and resumes the blocked
+/// caller directly, while user-space protocol work runs in ordinary threads
+/// and pays for scheduling. `Auto` lets that asymmetry emerge from the CPU
+/// model; `Fixed` is used where the paper reports a measured, path-specific
+/// cost (e.g. the 110 µs interrupt-to-sequencer-thread dispatch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SwitchCharge {
+    /// Charge the processor's context-switch cost iff the previous
+    /// thread-level occupant was a different thread.
+    #[default]
+    Auto,
+    /// Charge exactly this duration (counted as a switch when non-zero).
+    Fixed(SimDuration),
+    /// Charge nothing.
+    Free,
+}
+
+/// Handle through which a simulated thread talks to the simulation.
+///
+/// A `Ctx` is handed to every thread body spawned via
+/// [`crate::Simulation::spawn`] or [`Ctx::spawn`]. All blocking primitives
+/// ([`crate::SimMutex`], [`crate::SimCondvar`], [`crate::SimChannel`]) take a
+/// `&Ctx` so they can suspend the calling thread in virtual time.
+pub struct Ctx {
+    core: Arc<Core>,
+    tid: ThreadId,
+}
+
+impl std::fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx").field("thread", &self.tid).finish()
+    }
+}
+
+impl Ctx {
+    pub(crate) fn new(core: Arc<Core>, tid: ThreadId) -> Self {
+        Ctx { core, tid }
+    }
+
+    pub(crate) fn core(&self) -> &Arc<Core> {
+        &self.core
+    }
+
+    /// Returns the current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.state.lock().now
+    }
+
+    /// Returns this thread's identifier.
+    pub fn thread_id(&self) -> ThreadId {
+        self.tid
+    }
+
+    /// Returns the processor this thread runs on.
+    pub fn processor(&self) -> ProcId {
+        self.core.state.lock().threads[self.tid.0].proc
+    }
+
+    /// Returns this thread's diagnostic name.
+    pub fn name(&self) -> String {
+        self.core.state.lock().threads[self.tid.0].name.clone()
+    }
+
+    /// Yields control and resumes once the registered wake fires.
+    ///
+    /// Callers must have registered a wait via `prepare_block` while holding
+    /// the core lock. Unwinds the thread if the simulation is shutting down.
+    pub(crate) fn yield_blocked(&self) -> WakeStatus {
+        let conduit = {
+            let st = self.core.state.lock();
+            if st.shutdown {
+                // Tear-down in progress: never yield again (the scheduler is
+                // gone); let the caller unwind or return a benign value.
+                return WakeStatus::Shutdown;
+            }
+            Arc::clone(&st.threads[self.tid.0].conduit)
+        };
+        conduit.yield_to_scheduler();
+        if self.core.state.lock().shutdown {
+            WakeStatus::Shutdown
+        } else {
+            WakeStatus::Woken
+        }
+    }
+
+    /// Suspends the thread for `d` of virtual time without occupying a CPU.
+    ///
+    /// Use this to model pure waiting (timers, wire propagation). To model
+    /// work that keeps the processor busy, use [`Ctx::compute`].
+    pub fn sleep(&self, d: SimDuration) {
+        let _ = {
+            let mut st = self.core.state.lock();
+            let wid = st.prepare_block(self.tid, "sleep");
+            let at = st.now + d;
+            st.schedule_wake(at, self.tid, wid);
+            wid
+        };
+        if self.yield_blocked() == WakeStatus::Shutdown {
+            shutdown_unwind_unless_panicking();
+        }
+    }
+
+    /// Performs `d` of CPU work on this thread's processor.
+    ///
+    /// The call acquires the processor (FIFO among threads), pays the
+    /// context-switch cost if another thread ran since this one last held the
+    /// CPU, and is extended by any interrupt-level work that steals the CPU
+    /// while it runs.
+    pub fn compute(&self, d: SimDuration) {
+        self.compute_charged(d, SwitchCharge::Auto);
+    }
+
+    /// [`Ctx::compute`] with an explicit context-switch accounting policy.
+    pub fn compute_charged(&self, d: SimDuration, charge: SwitchCharge) {
+        let me = self.tid;
+        let proc = self.processor();
+        // Acquire the CPU.
+        let acquired = {
+            let mut st = self.core.state.lock();
+            let pr = &mut st.procs[proc.0];
+            debug_assert_ne!(pr.holder, Some(me), "recursive compute on one CPU");
+            if pr.holder.is_none() {
+                pr.holder = Some(me);
+                true
+            } else {
+                let wid = st.prepare_block(me, "cpu");
+                st.procs[proc.0].waiters.push_back((me, wid));
+                false
+            }
+        };
+        if !acquired {
+            if self.yield_blocked() == WakeStatus::Shutdown {
+                shutdown_unwind_unless_panicking();
+            }
+            debug_assert_eq!(
+                self.core.state.lock().procs[proc.0].holder,
+                Some(me),
+                "woken CPU waiter must have been granted the CPU"
+            );
+        }
+        // Context-switch charge.
+        let cs = {
+            let mut st = self.core.state.lock();
+            let pr = &mut st.procs[proc.0];
+            match charge {
+                SwitchCharge::Auto => {
+                    if pr.last_thread_holder.is_some() && pr.last_thread_holder != Some(me) {
+                        pr.switches += 1;
+                        pr.switch_cost
+                    } else {
+                        SimDuration::ZERO
+                    }
+                }
+                SwitchCharge::Fixed(c) => {
+                    if !c.is_zero() {
+                        pr.switches += 1;
+                    }
+                    c
+                }
+                SwitchCharge::Free => SimDuration::ZERO,
+            }
+        };
+        // Occupy the CPU, extended by interrupt-level theft.
+        let start = self.now();
+        let mut remaining = d + cs;
+        while !remaining.is_zero() {
+            let s0 = self.core.state.lock().procs[proc.0].stolen_total;
+            self.sleep(remaining);
+            let s1 = self.core.state.lock().procs[proc.0].stolen_total;
+            remaining = s1 - s0;
+        }
+        // Release and grant to the next waiter, if any.
+        {
+            let mut st = self.core.state.lock();
+            let elapsed = st.now.saturating_duration_since(start);
+            let pr = &mut st.procs[proc.0];
+            pr.busy += elapsed;
+            pr.holder = None;
+            pr.last_thread_holder = Some(me);
+            if let Some((t, w)) = pr.waiters.pop_front() {
+                pr.holder = Some(t);
+                st.schedule_wake_now(t, w);
+            }
+        }
+    }
+
+    /// Performs `d` of CPU work in slices of at most `quantum`, releasing
+    /// the processor between slices.
+    ///
+    /// This approximates preemptive scheduling: protocol daemons and other
+    /// threads interleave at quantum granularity instead of stalling behind
+    /// one long computation (Amoeba schedules its kernel threads
+    /// preemptively). Use for application compute phases; short protocol
+    /// charges can stay with [`Ctx::compute`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero.
+    pub fn compute_sliced(&self, d: SimDuration, quantum: SimDuration) {
+        assert!(!quantum.is_zero(), "quantum must be positive");
+        let mut remaining = d;
+        loop {
+            if remaining.is_zero() {
+                break;
+            }
+            let slice = if remaining > quantum { quantum } else { remaining };
+            self.compute(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
+    }
+
+    /// Performs `d` of interrupt-level CPU work on this thread's processor.
+    ///
+    /// Interrupt work preempts thread-level work: it does not wait for the
+    /// CPU, and any concurrent thread-level [`Ctx::compute`] on the same
+    /// processor is extended by `d`. It also does not update the
+    /// "last thread" register, so a thread resumed right after interrupt
+    /// processing pays no context switch — the kernel-space fast path the
+    /// paper measures.
+    pub fn interrupt_compute(&self, d: SimDuration) {
+        if d.is_zero() {
+            return;
+        }
+        self.sleep(d);
+        let proc = self.processor();
+        let mut st = self.core.state.lock();
+        let pr = &mut st.procs[proc.0];
+        pr.stolen_total += d;
+        pr.interrupt_time += d;
+    }
+
+    /// Spawns a new simulated thread on the same processor.
+    pub fn spawn<F>(&self, name: &str, f: F) -> ThreadHandle
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        self.spawn_on(self.processor(), name, f)
+    }
+
+    /// Spawns a new simulated thread on the given processor.
+    pub fn spawn_on<F>(&self, proc: ProcId, name: &str, f: F) -> ThreadHandle
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        let tid = self.core.spawn_thread(proc, name, false, f);
+        ThreadHandle::new(Arc::clone(&self.core), tid)
+    }
+
+    /// Spawns a daemon thread on the given processor. Daemon threads may stay
+    /// blocked forever without the run being reported as deadlocked.
+    pub fn spawn_daemon_on<F>(&self, proc: ProcId, name: &str, f: F) -> ThreadHandle
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        let tid = self.core.spawn_thread(proc, name, true, f);
+        ThreadHandle::new(Arc::clone(&self.core), tid)
+    }
+
+    /// Returns a uniformly distributed `u64` from the simulation's
+    /// deterministic random number generator.
+    pub fn rand_u64(&self) -> u64 {
+        self.core.state.lock().rng.random()
+    }
+
+    /// Returns a uniformly distributed value in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn rand_range(&self, n: u64) -> u64 {
+        assert!(n > 0, "rand_range: n must be positive");
+        self.core.state.lock().rng.random_range(0..n)
+    }
+
+    /// Returns a uniformly distributed `f64` in `[0, 1)`.
+    pub fn rand_f64(&self) -> f64 {
+        self.core.state.lock().rng.random()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn rand_bool(&self, p: f64) -> bool {
+        self.rand_f64() < p
+    }
+
+    /// Records a trace message if tracing is enabled
+    /// (see [`crate::Simulation::enable_trace`]).
+    pub fn trace(&self, message: impl AsRef<str>) {
+        let mut st = self.core.state.lock();
+        if st.trace.is_none() {
+            return;
+        }
+        let now = st.now;
+        let name = st.threads[self.tid.0].name.clone();
+        let cap = st.trace_cap;
+        if let Some(buf) = st.trace.as_mut() {
+            if buf.len() < cap {
+                buf.push(TraceEntry {
+                    time: now,
+                    thread: name,
+                    message: message.as_ref().to_owned(),
+                });
+            }
+        }
+    }
+}

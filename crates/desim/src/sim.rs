@@ -1,0 +1,327 @@
+//! The simulation driver: owns the virtual clock and runs the event loop.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::core::{install_quiet_shutdown_hook, Core, ProcId, ThreadId, ThreadState, WakeStatus};
+use crate::ctx::Ctx;
+use crate::time::{SimDuration, SimTime};
+
+/// Errors reported by [`Simulation::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The event queue drained while non-daemon threads were still blocked.
+    Deadlock {
+        /// `(thread name, what it was blocked on)` for each stuck thread.
+        blocked: Vec<(String, &'static str)>,
+    },
+    /// The configured event budget was exhausted (see
+    /// [`Simulation::set_max_events`]).
+    EventLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { blocked } => {
+                write!(f, "simulation deadlocked; blocked threads: ")?;
+                for (i, (name, on)) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{name} (on {on})")?;
+                }
+                Ok(())
+            }
+            SimError::EventLimitExceeded { limit } => {
+                write!(f, "simulation exceeded the event limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Per-processor accounting for one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcReport {
+    /// Processor name given to [`Simulation::add_processor`].
+    pub name: String,
+    /// Total thread-level CPU occupancy.
+    pub busy: SimDuration,
+    /// Total interrupt-level CPU time.
+    pub interrupt_time: SimDuration,
+    /// Number of charged context switches.
+    pub switches: u64,
+}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimReport {
+    /// Virtual time when the run stopped.
+    pub final_time: SimTime,
+    /// Total wake events processed (cumulative across runs).
+    pub events: u64,
+    /// Per-processor accounting.
+    pub procs: Vec<ProcReport>,
+}
+
+/// Handle to a simulated thread.
+///
+/// Returned by the `spawn` family on [`Simulation`] and [`Ctx`]. Unlike
+/// `std::thread::JoinHandle` it is clonable and joining is idempotent.
+#[derive(Clone)]
+pub struct ThreadHandle {
+    core: Arc<Core>,
+    tid: ThreadId,
+}
+
+impl fmt::Debug for ThreadHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadHandle").field("thread", &self.tid).finish()
+    }
+}
+
+impl ThreadHandle {
+    pub(crate) fn new(core: Arc<Core>, tid: ThreadId) -> Self {
+        ThreadHandle { core, tid }
+    }
+
+    /// Returns the thread's identifier.
+    pub fn id(&self) -> ThreadId {
+        self.tid
+    }
+
+    /// Returns `true` once the thread body has returned.
+    pub fn is_finished(&self) -> bool {
+        self.core.state.lock().threads[self.tid.0].state == ThreadState::Finished
+    }
+
+    /// Blocks the calling simulated thread until this thread finishes.
+    pub fn join(&self, ctx: &Ctx) {
+        loop {
+            {
+                let mut st = self.core.state.lock();
+                if st.threads[self.tid.0].state == ThreadState::Finished {
+                    return;
+                }
+                let wid = st.prepare_block(ctx.thread_id(), "join");
+                st.threads[self.tid.0].joiners.push((ctx.thread_id(), wid));
+            }
+            if ctx.yield_blocked() == WakeStatus::Shutdown {
+                crate::core::shutdown_unwind_unless_panicking();
+                return;
+            }
+        }
+    }
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// A `Simulation` owns processors (CPUs), simulated threads, and the virtual
+/// clock. The same seed and the same program yield byte-identical schedules.
+///
+/// # Examples
+///
+/// ```
+/// use desim::{Simulation, us};
+///
+/// let mut sim = Simulation::new(42);
+/// let cpu = sim.add_processor("m0");
+/// sim.spawn(cpu, "worker", |ctx| {
+///     ctx.compute(us(100));
+/// });
+/// let report = sim.run().expect("run");
+/// assert_eq!(report.final_time.as_micros_f64(), 100.0);
+/// ```
+pub struct Simulation {
+    core: Arc<Core>,
+    max_events: Option<u64>,
+    default_switch_cost: SimDuration,
+}
+
+impl fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.core.state.lock();
+        f.debug_struct("Simulation")
+            .field("now", &st.now)
+            .field("threads", &st.threads.len())
+            .field("procs", &st.procs.len())
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Creates a simulation seeded with `seed` for all randomness.
+    pub fn new(seed: u64) -> Self {
+        install_quiet_shutdown_hook();
+        Simulation {
+            core: Core::new(seed),
+            max_events: None,
+            default_switch_cost: SimDuration::ZERO,
+        }
+    }
+
+    /// Sets the context-switch cost used for processors added *afterwards*.
+    pub fn set_default_switch_cost(&mut self, cost: SimDuration) {
+        self.default_switch_cost = cost;
+    }
+
+    /// Caps the total number of wake events; [`Simulation::run`] returns
+    /// [`SimError::EventLimitExceeded`] past the cap. A safety net against
+    /// runaway protocols (e.g. retransmission storms).
+    pub fn set_max_events(&mut self, limit: u64) {
+        self.max_events = Some(limit);
+    }
+
+    /// Adds a processor (one CPU) and returns its id.
+    pub fn add_processor(&mut self, name: &str) -> ProcId {
+        self.core.add_processor(name, self.default_switch_cost)
+    }
+
+    /// Adds a processor with an explicit context-switch cost.
+    pub fn add_processor_with_switch_cost(&mut self, name: &str, cost: SimDuration) -> ProcId {
+        self.core.add_processor(name, cost)
+    }
+
+    /// Spawns a simulated thread on `proc`; it starts when the run begins.
+    pub fn spawn<F>(&mut self, proc: ProcId, name: &str, f: F) -> ThreadHandle
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        let tid = self.core.spawn_thread(proc, name, false, f);
+        ThreadHandle::new(Arc::clone(&self.core), tid)
+    }
+
+    /// Spawns a daemon thread: it may remain blocked forever without the run
+    /// being reported as a deadlock (e.g. protocol receive daemons).
+    pub fn spawn_daemon<F>(&mut self, proc: ProcId, name: &str, f: F) -> ThreadHandle
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        let tid = self.core.spawn_thread(proc, name, true, f);
+        ThreadHandle::new(Arc::clone(&self.core), tid)
+    }
+
+    /// Runs until the event queue drains.
+    ///
+    /// Daemon threads blocked at that point are expected; any other blocked
+    /// thread is a deadlock.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] if non-daemon threads are still blocked when
+    /// the queue drains, [`SimError::EventLimitExceeded`] if the event budget
+    /// is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from simulated threads.
+    pub fn run(&mut self) -> Result<SimReport, SimError> {
+        self.run_inner(None)
+    }
+
+    /// Runs until `target` finishes (or the queue drains first).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulation::run`]; additionally reports a deadlock if the
+    /// queue drains before `target` finishes.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from simulated threads.
+    pub fn run_until_finished(&mut self, target: &ThreadHandle) -> Result<SimReport, SimError> {
+        self.run_inner(Some(target.id()))
+    }
+
+    fn run_inner(&mut self, stop_on: Option<ThreadId>) -> Result<SimReport, SimError> {
+        loop {
+            if let Some(tid) = stop_on {
+                if self.core.state.lock().threads[tid.0].state == ThreadState::Finished {
+                    return Ok(self.report());
+                }
+            }
+            if let Some(limit) = self.max_events {
+                if self.core.state.lock().events_processed >= limit {
+                    return Err(SimError::EventLimitExceeded { limit });
+                }
+            }
+            if !self.core.step() {
+                break;
+            }
+        }
+        // Queue drained: every non-daemon thread must have finished.
+        let blocked: Vec<(String, &'static str)> = {
+            let st = self.core.state.lock();
+            st.threads
+                .iter()
+                .filter(|t| t.state != ThreadState::Finished && !t.daemon)
+                .map(|t| (t.name.clone(), t.blocked_on))
+                .collect()
+        };
+        if !blocked.is_empty() || stop_on.is_some() {
+            // `stop_on` reaching here means the target never finished.
+            return Err(SimError::Deadlock { blocked });
+        }
+        Ok(self.report())
+    }
+
+    /// Returns the current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.state.lock().now
+    }
+
+    /// Returns a snapshot report of the accounting so far.
+    pub fn report(&self) -> SimReport {
+        let st = self.core.state.lock();
+        SimReport {
+            final_time: st.now,
+            events: st.events_processed,
+            procs: st
+                .procs
+                .iter()
+                .map(|p| ProcReport {
+                    name: p.name.clone(),
+                    busy: p.busy,
+                    interrupt_time: p.interrupt_time,
+                    switches: p.switches,
+                })
+                .collect(),
+        }
+    }
+
+    /// Starts collecting trace messages emitted via [`Ctx::trace`].
+    pub fn enable_trace(&mut self) {
+        self.core.state.lock().trace = Some(Vec::new());
+    }
+
+    /// Drains and returns collected trace lines, formatted
+    /// `T+<time> [<thread>] <message>`.
+    pub fn take_trace(&mut self) -> Vec<String> {
+        let mut st = self.core.state.lock();
+        match st.trace.take() {
+            Some(buf) => {
+                st.trace = Some(Vec::new());
+                buf.iter()
+                    .map(|e| format!("T+{} [{}] {}", e.time, e.thread, e.message))
+                    .collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of events still queued (diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.core.state.lock().queue_len()
+    }
+}
+
+impl Drop for Simulation {
+    fn drop(&mut self) {
+        self.core.initiate_shutdown();
+    }
+}

@@ -1,0 +1,312 @@
+//! Integration tests for the desim scheduler, CPU model, and determinism.
+
+use desim::{ms, us, SimChannel, SimDuration, SimError, SimMutex, SimTime, Simulation, SwitchCharge};
+
+#[test]
+fn empty_simulation_runs() {
+    let mut sim = Simulation::new(0);
+    let report = sim.run().expect("empty run");
+    assert_eq!(report.final_time, SimTime::ZERO);
+    assert_eq!(report.events, 0);
+}
+
+#[test]
+fn sleep_advances_virtual_time_only() {
+    let mut sim = Simulation::new(0);
+    let cpu = sim.add_processor("m0");
+    let h = sim.spawn(cpu, "sleeper", |ctx| {
+        ctx.sleep(desim::secs(3600)); // an hour of virtual time is instant
+        assert_eq!(ctx.now(), SimTime::ZERO + desim::secs(3600));
+    });
+    sim.run_until_finished(&h).expect("run");
+}
+
+#[test]
+fn compute_serializes_on_one_cpu() {
+    let mut sim = Simulation::new(0);
+    let cpu = sim.add_processor("m0");
+    let done = SimMutex::new(Vec::<(u32, u64)>::new());
+    for i in 0..3u32 {
+        let done = done.clone();
+        sim.spawn(cpu, &format!("w{i}"), move |ctx| {
+            ctx.compute(us(100));
+            done.lock(ctx).push((i, ctx.now().as_nanos()));
+        });
+    }
+    let done2 = done.clone();
+    let checker = sim.spawn(cpu, "checker", move |ctx| {
+        ctx.sleep(ms(1));
+        let g = done2.lock(ctx);
+        assert_eq!(
+            *g,
+            vec![(0, 100_000), (1, 200_000), (2, 300_000)],
+            "three 100us jobs on one CPU must finish back-to-back in FIFO order"
+        );
+    });
+    sim.run_until_finished(&checker).expect("run");
+}
+
+#[test]
+fn compute_parallel_on_two_cpus() {
+    let mut sim = Simulation::new(0);
+    let a = sim.add_processor("a");
+    let b = sim.add_processor("b");
+    let ha = sim.spawn(a, "wa", |ctx| {
+        ctx.compute(us(100));
+        assert_eq!(ctx.now().as_micros_f64(), 100.0);
+    });
+    let hb = sim.spawn(b, "wb", |ctx| {
+        ctx.compute(us(100));
+        assert_eq!(ctx.now().as_micros_f64(), 100.0);
+    });
+    sim.run_until_finished(&ha).expect("a");
+    sim.run_until_finished(&hb).expect("b");
+}
+
+#[test]
+fn context_switch_charged_between_threads_not_within() {
+    let mut sim = Simulation::new(0);
+    let cpu = sim.add_processor_with_switch_cost("m0", us(70));
+    // Thread A computes twice in a row: second compute pays no switch.
+    let ha = sim.spawn(cpu, "a", |ctx| {
+        ctx.compute(us(10));
+        ctx.compute(us(10));
+        assert_eq!(ctx.now().as_micros_f64(), 20.0, "no self-switch charge");
+    });
+    sim.run_until_finished(&ha).expect("a");
+    let report = sim.report();
+    assert_eq!(report.procs[0].switches, 0);
+
+    // A fresh thread B on the same CPU now pays one switch.
+    let hb = sim.spawn(cpu, "b", |ctx| {
+        let t0 = ctx.now();
+        ctx.compute(us(10));
+        assert_eq!((ctx.now() - t0).as_micros_f64(), 80.0, "70us switch + 10us work");
+    });
+    sim.run_until_finished(&hb).expect("b");
+    assert_eq!(sim.report().procs[0].switches, 1);
+}
+
+#[test]
+fn switch_charge_policies() {
+    let mut sim = Simulation::new(0);
+    let cpu = sim.add_processor_with_switch_cost("m0", us(70));
+    let h = sim.spawn(cpu, "a", |ctx| {
+        ctx.compute_charged(us(10), SwitchCharge::Free);
+        ctx.compute_charged(us(10), SwitchCharge::Fixed(us(110)));
+        assert_eq!(ctx.now().as_micros_f64(), 130.0);
+    });
+    sim.run_until_finished(&h).expect("run");
+    assert_eq!(sim.report().procs[0].switches, 1, "only the Fixed charge counts");
+}
+
+#[test]
+fn interrupt_compute_extends_thread_compute() {
+    let mut sim = Simulation::new(0);
+    let cpu = sim.add_processor("m0");
+    // Interrupt work lands in the middle of a 100us thread compute; the
+    // thread compute must stretch by the stolen 30us.
+    sim.spawn(cpu, "irq", |ctx| {
+        ctx.sleep(us(20));
+        ctx.interrupt_compute(us(30)); // finishes (and is charged) at t=50
+    });
+    let h = sim.spawn(cpu, "worker", |ctx| {
+        ctx.compute(us(100));
+        assert_eq!(ctx.now().as_micros_f64(), 130.0, "100us work + 30us stolen");
+    });
+    sim.run_until_finished(&h).expect("run");
+    let report = sim.report();
+    assert_eq!(report.procs[0].interrupt_time, us(30));
+}
+
+#[test]
+fn interrupt_does_not_update_last_thread_holder() {
+    // The kernel-space fast path: after interrupt-level work, the previous
+    // thread resumes with no context-switch charge.
+    let mut sim = Simulation::new(0);
+    let cpu = sim.add_processor_with_switch_cost("m0", us(70));
+    let h = sim.spawn(cpu, "client", |ctx| {
+        ctx.compute(us(10)); // t=10
+        ctx.sleep(us(100)); // blocked, e.g. awaiting a reply
+        ctx.compute(us(10)); // no switch: only interrupts ran meanwhile
+        assert_eq!(ctx.now().as_micros_f64(), 120.0);
+    });
+    sim.spawn(cpu, "irq", |ctx| {
+        ctx.sleep(us(50));
+        ctx.interrupt_compute(us(20));
+    });
+    sim.run_until_finished(&h).expect("run");
+    assert_eq!(sim.report().procs[0].switches, 0);
+}
+
+#[test]
+fn deadlock_detected_for_stuck_nondaemon() {
+    let mut sim = Simulation::new(0);
+    let cpu = sim.add_processor("m0");
+    let ch: SimChannel<u8> = SimChannel::new();
+    sim.spawn(cpu, "stuck", move |ctx| {
+        let _ = ch.recv(ctx); // nobody ever sends
+    });
+    match sim.run() {
+        Err(SimError::Deadlock { blocked }) => {
+            assert_eq!(blocked.len(), 1);
+            assert_eq!(blocked[0].0, "stuck");
+            assert_eq!(blocked[0].1, "chan.recv");
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn daemons_may_block_forever() {
+    let mut sim = Simulation::new(0);
+    let cpu = sim.add_processor("m0");
+    let ch: SimChannel<u8> = SimChannel::new();
+    let rx = ch.clone();
+    sim.spawn_daemon(cpu, "daemon", move |ctx| while rx.recv(ctx).is_some() {});
+    sim.spawn(cpu, "main", move |ctx| {
+        ch.send(ctx, 1).expect("open");
+        ctx.sleep(us(10));
+    });
+    sim.run().expect("daemon blocked at exit is fine");
+}
+
+#[test]
+fn event_limit_enforced() {
+    let mut sim = Simulation::new(0);
+    let cpu = sim.add_processor("m0");
+    sim.set_max_events(100);
+    sim.spawn(cpu, "spinner", |ctx| loop {
+        ctx.sleep(us(1));
+    });
+    match sim.run() {
+        Err(SimError::EventLimitExceeded { limit }) => assert_eq!(limit, 100),
+        other => panic!("expected event limit, got {other:?}"),
+    }
+}
+
+#[test]
+#[should_panic(expected = "simulated thread 'boom' panicked")]
+fn thread_panic_propagates() {
+    let mut sim = Simulation::new(0);
+    let cpu = sim.add_processor("m0");
+    sim.spawn(cpu, "boom", |_ctx| panic!("kaboom"));
+    let _ = sim.run();
+}
+
+#[test]
+fn join_waits_for_completion() {
+    let mut sim = Simulation::new(0);
+    let cpu = sim.add_processor("m0");
+    let child = sim.spawn(cpu, "child", |ctx| ctx.sleep(us(500)));
+    let child2 = child.clone();
+    let parent = sim.spawn(cpu, "parent", move |ctx| {
+        child2.join(ctx);
+        assert_eq!(ctx.now().as_micros_f64(), 500.0);
+        child2.join(ctx); // second join returns immediately
+    });
+    sim.run_until_finished(&parent).expect("run");
+    assert!(child.is_finished());
+}
+
+#[test]
+fn spawn_from_within_thread() {
+    let mut sim = Simulation::new(0);
+    let a = sim.add_processor("a");
+    let b = sim.add_processor("b");
+    let h = sim.spawn(a, "parent", move |ctx| {
+        let c1 = ctx.spawn("kid-same-cpu", |ctx| ctx.compute(us(10)));
+        let c2 = ctx.spawn_on(b, "kid-other-cpu", |ctx| ctx.compute(us(10)));
+        c1.join(ctx);
+        c2.join(ctx);
+        // Both kids computed in parallel on distinct CPUs.
+        assert_eq!(ctx.now().as_micros_f64(), 10.0);
+    });
+    sim.run_until_finished(&h).expect("run");
+}
+
+#[test]
+fn determinism_same_seed_same_schedule() {
+    // Results escape the simulation through a plain Arc<Mutex>; that is fine
+    // as long as the lock is never held across a simulated block.
+    fn run_once(seed: u64) -> Vec<u64> {
+        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut sim = Simulation::new(seed);
+        let cpu = sim.add_processor("m0");
+        let mut handles = Vec::new();
+        for i in 0..5u32 {
+            let log = std::sync::Arc::clone(&log);
+            handles.push(sim.spawn(cpu, &format!("w{i}"), move |ctx| {
+                let jitter = ctx.rand_range(50);
+                ctx.sleep(SimDuration::from_micros(jitter));
+                ctx.compute(us(10 + u64::from(i)));
+                log.lock().expect("log").push(ctx.now().as_nanos());
+            }));
+        }
+        sim.run().expect("run");
+        let out = log.lock().expect("log").clone();
+        assert_eq!(out.len(), 5);
+        out
+    }
+    assert_eq!(run_once(1234), run_once(1234));
+    assert_ne!(run_once(1234), run_once(9999), "different seeds should differ");
+}
+
+#[test]
+fn trace_collects_messages() {
+    let mut sim = Simulation::new(0);
+    sim.enable_trace();
+    let cpu = sim.add_processor("m0");
+    let h = sim.spawn(cpu, "t", |ctx| {
+        ctx.trace("hello");
+        ctx.sleep(us(3));
+        ctx.trace("world");
+    });
+    sim.run_until_finished(&h).expect("run");
+    let trace = sim.take_trace();
+    assert_eq!(trace.len(), 2);
+    assert!(trace[0].contains("hello"));
+    assert!(trace[1].contains("world") && trace[1].contains("3.000us"));
+}
+
+#[test]
+fn compute_sliced_lets_other_threads_interleave() {
+    // One long sliced computation plus a short compute from another thread:
+    // the short one runs within a quantum, not after the whole slab.
+    let mut sim = Simulation::new(0);
+    let cpu = sim.add_processor("m0");
+    sim.spawn(cpu, "big", |ctx| {
+        ctx.compute_sliced(ms(100), ms(5));
+    });
+    let h = sim.spawn(cpu, "small", |ctx| {
+        ctx.compute(us(100));
+        assert!(
+            ctx.now().as_millis_f64() < 15.0,
+            "short work interleaves at quantum granularity, finished at {}",
+            ctx.now()
+        );
+    });
+    sim.run_until_finished(&h).expect("run");
+}
+
+#[test]
+fn compute_sliced_total_time_is_preserved() {
+    let mut sim = Simulation::new(0);
+    let cpu = sim.add_processor("m0");
+    let h = sim.spawn(cpu, "only", |ctx| {
+        ctx.compute_sliced(ms(37), ms(5));
+        assert_eq!(ctx.now().as_millis_f64(), 37.0, "alone on the CPU: exact total");
+    });
+    sim.run_until_finished(&h).expect("run");
+}
+
+#[test]
+#[should_panic(expected = "quantum must be positive")]
+fn compute_sliced_rejects_zero_quantum() {
+    let mut sim = Simulation::new(0);
+    let cpu = sim.add_processor("m0");
+    sim.spawn(cpu, "bad", |ctx| {
+        ctx.compute_sliced(ms(1), SimDuration::ZERO);
+    });
+    let _ = sim.run();
+}

@@ -1,0 +1,134 @@
+//! Ethernet frames and addressing.
+
+use std::fmt;
+
+use bytes::Bytes;
+
+/// A station (NIC) address on the simulated Ethernet.
+///
+/// Stations are numbered densely from zero; the value doubles as an index
+/// into address tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MacAddr(pub u32);
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mac:{:02x}", self.0)
+    }
+}
+
+/// A hardware multicast group address.
+///
+/// The 10 Mbit/s Ethernet of the paper's processor pool provides multicast in
+/// hardware, which is why the paper's multicast latencies are nearly equal to
+/// unicast (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct McastAddr(pub u32);
+
+impl fmt::Display for McastAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mcast:{:02x}", self.0)
+    }
+}
+
+/// The destination of an Ethernet frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dest {
+    /// A single station.
+    Unicast(MacAddr),
+    /// All stations subscribed to the group.
+    Multicast(McastAddr),
+    /// Every station.
+    Broadcast,
+}
+
+impl fmt::Display for Dest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dest::Unicast(m) => write!(f, "{m}"),
+            Dest::Multicast(g) => write!(f, "{g}"),
+            Dest::Broadcast => write!(f, "broadcast"),
+        }
+    }
+}
+
+/// Fixed per-frame wire overhead in bytes: preamble + SFD (8), MAC header
+/// (14), frame check sequence (4), and inter-frame gap (12).
+pub const FRAME_OVERHEAD_BYTES: usize = 38;
+
+/// Maximum Ethernet payload (the MTU the paper's FLIP fragments to).
+pub const MAX_PAYLOAD_BYTES: usize = 1500;
+
+/// Minimum Ethernet payload; shorter payloads are padded on the wire.
+pub const MIN_PAYLOAD_BYTES: usize = 46;
+
+/// An Ethernet frame in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Sending station.
+    pub src: MacAddr,
+    /// Destination station, group, or broadcast.
+    pub dst: Dest,
+    /// Payload carried by the frame (at most [`MAX_PAYLOAD_BYTES`]).
+    pub payload: Bytes,
+}
+
+impl Frame {
+    /// Creates a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds [`MAX_PAYLOAD_BYTES`].
+    pub fn new(src: MacAddr, dst: Dest, payload: Bytes) -> Self {
+        assert!(
+            payload.len() <= MAX_PAYLOAD_BYTES,
+            "frame payload {} exceeds the {MAX_PAYLOAD_BYTES}-byte MTU",
+            payload.len()
+        );
+        Frame { src, dst, payload }
+    }
+
+    /// Bytes this frame occupies on the wire, including framing overhead and
+    /// minimum-payload padding.
+    pub fn wire_bytes(&self) -> usize {
+        self.payload.len().max(MIN_PAYLOAD_BYTES) + FRAME_OVERHEAD_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_pads_short_frames() {
+        let f = Frame::new(MacAddr(0), Dest::Broadcast, Bytes::from_static(b"hi"));
+        assert_eq!(f.wire_bytes(), MIN_PAYLOAD_BYTES + FRAME_OVERHEAD_BYTES);
+    }
+
+    #[test]
+    fn wire_bytes_counts_payload_and_overhead() {
+        let f = Frame::new(
+            MacAddr(1),
+            Dest::Unicast(MacAddr(2)),
+            Bytes::from(vec![0u8; 1000]),
+        );
+        assert_eq!(f.wire_bytes(), 1000 + FRAME_OVERHEAD_BYTES);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_payload_rejected() {
+        let _ = Frame::new(
+            MacAddr(0),
+            Dest::Broadcast,
+            Bytes::from(vec![0u8; MAX_PAYLOAD_BYTES + 1]),
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", MacAddr(3)), "mac:03");
+        assert_eq!(format!("{}", Dest::Multicast(McastAddr(7))), "mcast:07");
+        assert_eq!(format!("{}", Dest::Broadcast), "broadcast");
+    }
+}

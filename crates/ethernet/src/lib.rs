@@ -1,0 +1,21 @@
+//! # ethernet — simulated shared-medium Ethernet
+//!
+//! Models the network of the paper's processor pool: 10 Mbit/s half-duplex
+//! Ethernet segments with hardware multicast, eight stations per segment,
+//! joined by a store-and-forward [`Network::add_switch`]. Transmissions on a
+//! segment are serialized at wire speed, so saturation behaviour (the flat
+//! speedup curves of Table 3 at ≥16 processors) emerges naturally.
+//!
+//! Fault injection ([`Network::faults`]) can drop frames on the wire or at
+//! individual receivers, which the FLIP/Panda layers above must recover from.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod frame;
+mod network;
+
+pub use frame::{
+    Dest, Frame, MacAddr, McastAddr, FRAME_OVERHEAD_BYTES, MAX_PAYLOAD_BYTES, MIN_PAYLOAD_BYTES,
+};
+pub use network::{FaultState, NetConfig, Network, Nic, SegmentId, SegmentStats};

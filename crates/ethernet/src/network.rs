@@ -1,0 +1,457 @@
+//! Segments, NICs, and the switch.
+//!
+//! A [`Network`] owns any number of shared-medium segments. Each segment is
+//! driven by a daemon thread that serializes transmissions at the configured
+//! bandwidth (half-duplex, like the paper's 10 Mbit/s Ethernet) and then
+//! delivers the frame to every matching attachment. A [`Switch`] connects
+//! segments store-and-forward; multicast and broadcast frames are flooded to
+//! all other segments.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use desim::{Ctx, SimChannel, SimDuration, Simulation};
+use parking_lot::Mutex;
+
+use crate::frame::{Dest, Frame, MacAddr, McastAddr};
+
+/// Identifies a segment within one [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegmentId(usize);
+
+impl fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seg{}", self.0)
+    }
+}
+
+/// Static configuration of a [`Network`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Raw bandwidth of every segment, in bits per second.
+    pub bandwidth_bps: u64,
+    /// Fixed store-and-forward latency added by the switch per hop.
+    pub switch_latency: SimDuration,
+}
+
+impl Default for NetConfig {
+    /// The paper's network: 10 Mbit/s Ethernet, a small switch latency.
+    fn default() -> Self {
+        NetConfig {
+            bandwidth_bps: 10_000_000,
+            switch_latency: SimDuration::from_micros(30),
+        }
+    }
+}
+
+/// Runtime-adjustable fault injection knobs (see [`Network::faults`]).
+#[derive(Debug, Clone, Default)]
+pub struct FaultState {
+    /// Probability that a frame is lost on the wire (all receivers miss it).
+    pub wire_loss_prob: f64,
+    /// Probability that an individual receiver drops an arriving frame.
+    pub rx_loss_prob: f64,
+    /// Unconditionally drop this many upcoming frames (wire-level), then
+    /// resume normal behaviour. Useful for targeted recovery tests.
+    pub force_drop_next: u64,
+}
+
+/// Cumulative per-segment counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Frames successfully carried.
+    pub frames: u64,
+    /// Wire bytes successfully carried (including framing overhead).
+    pub wire_bytes: u64,
+    /// Total time the medium was busy.
+    pub busy: SimDuration,
+    /// Frames lost on the wire (fault injection).
+    pub wire_drops: u64,
+    /// Per-receiver deliveries dropped (fault injection).
+    pub rx_drops: u64,
+}
+
+impl SegmentStats {
+    /// Fraction of `elapsed` during which the medium was busy.
+    pub fn utilization(&self, elapsed: SimDuration) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / elapsed.as_secs_f64()
+        }
+    }
+}
+
+struct Attachment {
+    mac: Option<MacAddr>,
+    promiscuous: bool,
+    groups: HashSet<McastAddr>,
+    rx: SimChannel<Frame>,
+}
+
+struct SegmentInner {
+    #[allow(dead_code)]
+    name: String,
+    tx: SimChannel<Frame>,
+    attachments: Vec<Attachment>,
+    stats: SegmentStats,
+}
+
+struct NetInner {
+    segments: Vec<SegmentInner>,
+    /// Static station directory: `mac -> segment` (index by `MacAddr.0`).
+    mac_home: Vec<Option<SegmentId>>,
+}
+
+impl NetInner {
+    fn home_of(&self, mac: MacAddr) -> Option<SegmentId> {
+        self.mac_home.get(mac.0 as usize).copied().flatten()
+    }
+}
+
+/// A simulated multi-segment Ethernet.
+///
+/// # Examples
+///
+/// ```
+/// use desim::Simulation;
+/// use ethernet::{Dest, MacAddr, NetConfig, Network};
+/// use bytes::Bytes;
+///
+/// let mut sim = Simulation::new(1);
+/// let mut net = Network::new(NetConfig::default());
+/// let seg = net.add_segment(&mut sim, "seg0");
+/// let a = net.attach(MacAddr(0), seg);
+/// let b = net.attach(MacAddr(1), seg);
+///
+/// let m0 = sim.add_processor("m0");
+/// let m1 = sim.add_processor("m1");
+/// sim.spawn(m0, "sender", {
+///     let a = a.clone();
+///     move |ctx| a.send(ctx, Dest::Unicast(MacAddr(1)), Bytes::from_static(b"hello"))
+/// });
+/// let rxed = sim.spawn(m1, "receiver", move |ctx| {
+///     let f = b.rx().recv(ctx).expect("frame");
+///     assert_eq!(&f.payload[..], b"hello");
+/// });
+/// sim.run_until_finished(&rxed).expect("run");
+/// ```
+#[derive(Clone)]
+pub struct Network {
+    cfg: NetConfig,
+    inner: Arc<Mutex<NetInner>>,
+    faults: Arc<Mutex<FaultState>>,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Network")
+            .field("segments", &inner.segments.len())
+            .field("cfg", &self.cfg)
+            .finish()
+    }
+}
+
+impl Network {
+    /// Creates an empty network with the given configuration.
+    pub fn new(cfg: NetConfig) -> Self {
+        Network {
+            cfg,
+            inner: Arc::new(Mutex::new(NetInner {
+                segments: Vec::new(),
+                mac_home: Vec::new(),
+            })),
+            faults: Arc::new(Mutex::new(FaultState::default())),
+        }
+    }
+
+    /// Nanoseconds to put one byte on the wire.
+    fn ns_per_byte(&self) -> u64 {
+        8_000_000_000 / self.cfg.bandwidth_bps
+    }
+
+    /// Time a frame occupies the medium.
+    pub fn wire_time(&self, frame: &Frame) -> SimDuration {
+        SimDuration::from_nanos(frame.wire_bytes() as u64 * self.ns_per_byte())
+    }
+
+    /// Returns the shared fault-injection state for runtime adjustment.
+    pub fn faults(&self) -> Arc<Mutex<FaultState>> {
+        Arc::clone(&self.faults)
+    }
+
+    /// Adds a shared-medium segment and spawns its transmission daemon.
+    pub fn add_segment(&mut self, sim: &mut Simulation, name: &str) -> SegmentId {
+        let tx = SimChannel::new();
+        let id = {
+            let mut inner = self.inner.lock();
+            let id = SegmentId(inner.segments.len());
+            inner.segments.push(SegmentInner {
+                name: name.to_owned(),
+                tx: tx.clone(),
+                attachments: Vec::new(),
+                stats: SegmentStats::default(),
+            });
+            id
+        };
+        let proc = sim.add_processor(&format!("net-{name}"));
+        let net = self.clone();
+        sim.spawn_daemon(proc, &format!("eth-{name}"), move |ctx| {
+            net.segment_daemon(ctx, id);
+        });
+        id
+    }
+
+    /// Attaches a station to `segment` and returns its NIC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the MAC is already attached or the segment is unknown.
+    pub fn attach(&mut self, mac: MacAddr, segment: SegmentId) -> Nic {
+        let mut inner = self.inner.lock();
+        assert!(segment.0 < inner.segments.len(), "unknown {segment}");
+        let idx = mac.0 as usize;
+        if inner.mac_home.len() <= idx {
+            inner.mac_home.resize(idx + 1, None);
+        }
+        assert!(inner.mac_home[idx].is_none(), "{mac} attached twice");
+        inner.mac_home[idx] = Some(segment);
+        let rx = SimChannel::new();
+        let tx = inner.segments[segment.0].tx.clone();
+        inner.segments[segment.0].attachments.push(Attachment {
+            mac: Some(mac),
+            promiscuous: false,
+            groups: HashSet::new(),
+            rx: rx.clone(),
+        });
+        Nic {
+            mac,
+            segment,
+            tx,
+            rx,
+            net: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Connects `segments` with a store-and-forward switch.
+    ///
+    /// Unicast frames are forwarded to the destination's home segment;
+    /// multicast and broadcast frames are flooded to all other segments.
+    /// A single switch per network is supported (no loop protection).
+    pub fn add_switch(&mut self, sim: &mut Simulation, segments: &[SegmentId], name: &str) {
+        let proc = sim.add_processor(&format!("switch-{name}"));
+        for &seg in segments {
+            let port_rx = SimChannel::new();
+            {
+                let mut inner = self.inner.lock();
+                inner.segments[seg.0].attachments.push(Attachment {
+                    mac: None,
+                    promiscuous: true,
+                    groups: HashSet::new(),
+                    rx: port_rx.clone(),
+                });
+            }
+            let net = self.clone();
+            let all: Vec<SegmentId> = segments.to_vec();
+            sim.spawn_daemon(proc, &format!("sw-{name}-{seg}"), move |ctx| {
+                net.switch_port_daemon(ctx, seg, &all, port_rx);
+            });
+        }
+    }
+
+    /// Snapshot of a segment's counters.
+    pub fn segment_stats(&self, segment: SegmentId) -> SegmentStats {
+        self.inner.lock().segments[segment.0].stats.clone()
+    }
+
+    /// Sum of all segment counters.
+    pub fn total_stats(&self) -> SegmentStats {
+        let inner = self.inner.lock();
+        let mut total = SegmentStats::default();
+        for s in &inner.segments {
+            total.frames += s.stats.frames;
+            total.wire_bytes += s.stats.wire_bytes;
+            total.busy += s.stats.busy;
+            total.wire_drops += s.stats.wire_drops;
+            total.rx_drops += s.stats.rx_drops;
+        }
+        total
+    }
+
+    fn segment_daemon(&self, ctx: &Ctx, id: SegmentId) {
+        let tx = self.inner.lock().segments[id.0].tx.clone();
+        while let Some(frame) = tx.recv(ctx) {
+            let wire = self.wire_time(&frame);
+            ctx.sleep(wire); // the medium is busy; later frames queue behind
+            let dropped = {
+                let mut faults = self.faults.lock();
+                if faults.force_drop_next > 0 {
+                    faults.force_drop_next -= 1;
+                    true
+                } else {
+                    let p = faults.wire_loss_prob;
+                    drop(faults);
+                    p > 0.0 && ctx.rand_bool(p)
+                }
+            };
+            {
+                let mut inner = self.inner.lock();
+                let seg = &mut inner.segments[id.0];
+                seg.stats.busy += wire;
+                if dropped {
+                    seg.stats.wire_drops += 1;
+                } else {
+                    seg.stats.frames += 1;
+                    seg.stats.wire_bytes += frame.wire_bytes() as u64;
+                }
+            }
+            if dropped {
+                continue;
+            }
+            let targets: Vec<SimChannel<Frame>> = {
+                let inner = self.inner.lock();
+                inner.segments[id.0]
+                    .attachments
+                    .iter()
+                    .filter(|a| {
+                        a.promiscuous
+                            || match frame.dst {
+                                Dest::Unicast(m) => a.mac == Some(m),
+                                Dest::Multicast(g) => a.groups.contains(&g),
+                                Dest::Broadcast => true,
+                            }
+                    })
+                    .filter(|a| a.mac != Some(frame.src)) // no self-delivery
+                    .map(|a| a.rx.clone())
+                    .collect()
+            };
+            let rx_loss = self.faults.lock().rx_loss_prob;
+            for target in targets {
+                if rx_loss > 0.0 && ctx.rand_bool(rx_loss) {
+                    self.inner.lock().segments[id.0].stats.rx_drops += 1;
+                    continue;
+                }
+                let _ = target.send(ctx, frame.clone());
+            }
+        }
+    }
+
+    fn switch_port_daemon(
+        &self,
+        ctx: &Ctx,
+        my_segment: SegmentId,
+        all_segments: &[SegmentId],
+        port_rx: SimChannel<Frame>,
+    ) {
+        while let Some(frame) = port_rx.recv(ctx) {
+            let src_home = self.inner.lock().home_of(frame.src);
+            // Only forward frames that originated on this port's segment;
+            // anything else was injected by the switch itself.
+            if src_home != Some(my_segment) {
+                continue;
+            }
+            match frame.dst {
+                Dest::Unicast(mac) => {
+                    let dst_home = self.inner.lock().home_of(mac);
+                    match dst_home {
+                        Some(seg) if seg != my_segment => {
+                            ctx.sleep(self.cfg.switch_latency);
+                            let tx = self.inner.lock().segments[seg.0].tx.clone();
+                            let _ = tx.send(ctx, frame);
+                        }
+                        _ => {} // local traffic or unknown station: no forward
+                    }
+                }
+                Dest::Multicast(_) | Dest::Broadcast => {
+                    ctx.sleep(self.cfg.switch_latency);
+                    let txs: Vec<_> = {
+                        let inner = self.inner.lock();
+                        all_segments
+                            .iter()
+                            .filter(|s| **s != my_segment)
+                            .map(|s| inner.segments[s.0].tx.clone())
+                            .collect()
+                    };
+                    for tx in txs {
+                        let _ = tx.send(ctx, frame.clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A station's network interface.
+///
+/// Cloning yields another handle to the same NIC (same receive queue).
+#[derive(Clone)]
+pub struct Nic {
+    mac: MacAddr,
+    segment: SegmentId,
+    tx: SimChannel<Frame>,
+    rx: SimChannel<Frame>,
+    net: Arc<Mutex<NetInner>>,
+}
+
+impl fmt::Debug for Nic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Nic")
+            .field("mac", &self.mac)
+            .field("segment", &self.segment)
+            .finish()
+    }
+}
+
+impl Nic {
+    /// This station's address.
+    pub fn mac(&self) -> MacAddr {
+        self.mac
+    }
+
+    /// The segment this NIC is attached to.
+    pub fn segment(&self) -> SegmentId {
+        self.segment
+    }
+
+    /// Queues a payload for transmission. Returns once the frame is handed
+    /// to the NIC (transmission proceeds asynchronously on the medium).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds the MTU (see [`Frame::new`]).
+    pub fn send(&self, ctx: &Ctx, dst: Dest, payload: Bytes) {
+        let frame = Frame::new(self.mac, dst, payload);
+        let _ = self.tx.send(ctx, frame);
+    }
+
+    /// The receive queue: frames addressed to this station, its groups, or
+    /// broadcast.
+    pub fn rx(&self) -> &SimChannel<Frame> {
+        &self.rx
+    }
+
+    /// Subscribes this NIC to a hardware multicast group.
+    pub fn join_group(&self, group: McastAddr) {
+        let mut inner = self.net.lock();
+        let seg = &mut inner.segments[self.segment.0];
+        for a in &mut seg.attachments {
+            if a.mac == Some(self.mac) {
+                a.groups.insert(group);
+            }
+        }
+    }
+
+    /// Unsubscribes this NIC from a multicast group.
+    pub fn leave_group(&self, group: McastAddr) {
+        let mut inner = self.net.lock();
+        let seg = &mut inner.segments[self.segment.0];
+        for a in &mut seg.attachments {
+            if a.mac == Some(self.mac) {
+                a.groups.remove(&group);
+            }
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Integration tests: delivery semantics, medium serialization, the switch,
+//! and fault injection.
+
+use bytes::Bytes;
+use desim::{us, SimChannel, Simulation};
+use ethernet::{Dest, MacAddr, McastAddr, NetConfig, Network, FRAME_OVERHEAD_BYTES};
+
+fn payload(n: usize) -> Bytes {
+    Bytes::from(vec![0xabu8; n])
+}
+
+#[test]
+fn unicast_delivered_to_addressee_only() {
+    let mut sim = Simulation::new(1);
+    let mut net = Network::new(NetConfig::default());
+    let seg = net.add_segment(&mut sim, "s0");
+    let a = net.attach(MacAddr(0), seg);
+    let b = net.attach(MacAddr(1), seg);
+    let c = net.attach(MacAddr(2), seg);
+    let m = sim.add_processor("m");
+    let a2 = a.clone();
+    sim.spawn(m, "send", move |ctx| {
+        a2.send(ctx, Dest::Unicast(MacAddr(1)), payload(100));
+    });
+    let h = sim.spawn(m, "check", move |ctx| {
+        let f = b.rx().recv(ctx).expect("b gets the frame");
+        assert_eq!(f.src, MacAddr(0));
+        assert_eq!(f.payload.len(), 100);
+        assert!(c.rx().is_empty(), "bystander receives nothing");
+        assert!(a.rx().is_empty(), "no self-delivery");
+    });
+    sim.run_until_finished(&h).expect("run");
+}
+
+#[test]
+fn wire_time_matches_bandwidth() {
+    // 100-byte payload + 38 bytes overhead at 10 Mbit/s = 110.4 us.
+    let mut sim = Simulation::new(1);
+    let mut net = Network::new(NetConfig::default());
+    let seg = net.add_segment(&mut sim, "s0");
+    let a = net.attach(MacAddr(0), seg);
+    let b = net.attach(MacAddr(1), seg);
+    let m = sim.add_processor("m");
+    sim.spawn(m, "send", move |ctx| {
+        a.send(ctx, Dest::Unicast(MacAddr(1)), payload(100));
+    });
+    let h = sim.spawn(m, "check", move |ctx| {
+        let _ = b.rx().recv(ctx).expect("frame");
+        let expected_ns = (100 + FRAME_OVERHEAD_BYTES) as u64 * 800;
+        assert_eq!(ctx.now().as_nanos(), expected_ns);
+    });
+    sim.run_until_finished(&h).expect("run");
+}
+
+#[test]
+fn medium_serializes_back_to_back_frames() {
+    let mut sim = Simulation::new(1);
+    let mut net = Network::new(NetConfig::default());
+    let seg = net.add_segment(&mut sim, "s0");
+    let a = net.attach(MacAddr(0), seg);
+    let b = net.attach(MacAddr(1), seg);
+    let m = sim.add_processor("m");
+    sim.spawn(m, "send", move |ctx| {
+        // Two frames queued at t=0 must serialize on the wire.
+        a.send(ctx, Dest::Unicast(MacAddr(1)), payload(1000));
+        a.send(ctx, Dest::Unicast(MacAddr(1)), payload(1000));
+    });
+    let h = sim.spawn(m, "check", move |ctx| {
+        let one_frame_ns = (1000 + FRAME_OVERHEAD_BYTES) as u64 * 800;
+        let _ = b.rx().recv(ctx).expect("first");
+        assert_eq!(ctx.now().as_nanos(), one_frame_ns);
+        let _ = b.rx().recv(ctx).expect("second");
+        assert_eq!(ctx.now().as_nanos(), 2 * one_frame_ns);
+    });
+    sim.run_until_finished(&h).expect("run");
+}
+
+#[test]
+fn multicast_reaches_subscribers_only() {
+    let mut sim = Simulation::new(1);
+    let mut net = Network::new(NetConfig::default());
+    let seg = net.add_segment(&mut sim, "s0");
+    let a = net.attach(MacAddr(0), seg);
+    let b = net.attach(MacAddr(1), seg);
+    let c = net.attach(MacAddr(2), seg);
+    let g = McastAddr(9);
+    b.join_group(g);
+    let m = sim.add_processor("m");
+    sim.spawn(m, "send", move |ctx| {
+        a.send(ctx, Dest::Multicast(g), payload(10));
+    });
+    let h = sim.spawn(m, "check", move |ctx| {
+        assert!(b.rx().recv(ctx).is_some(), "subscriber receives");
+        assert!(c.rx().is_empty(), "non-subscriber filtered in hardware");
+    });
+    sim.run_until_finished(&h).expect("run");
+}
+
+#[test]
+fn leave_group_stops_delivery() {
+    let mut sim = Simulation::new(1);
+    let mut net = Network::new(NetConfig::default());
+    let seg = net.add_segment(&mut sim, "s0");
+    let a = net.attach(MacAddr(0), seg);
+    let b = net.attach(MacAddr(1), seg);
+    let g = McastAddr(4);
+    b.join_group(g);
+    b.leave_group(g);
+    let m = sim.add_processor("m");
+    let h = sim.spawn(m, "t", move |ctx| {
+        a.send(ctx, Dest::Multicast(g), payload(10));
+        ctx.sleep(us(500));
+        assert!(b.rx().is_empty());
+    });
+    sim.run_until_finished(&h).expect("run");
+}
+
+#[test]
+fn broadcast_reaches_everyone() {
+    let mut sim = Simulation::new(1);
+    let mut net = Network::new(NetConfig::default());
+    let seg = net.add_segment(&mut sim, "s0");
+    let a = net.attach(MacAddr(0), seg);
+    let nics: Vec<_> = (1..5).map(|i| net.attach(MacAddr(i), seg)).collect();
+    let m = sim.add_processor("m");
+    sim.spawn(m, "send", move |ctx| {
+        a.send(ctx, Dest::Broadcast, payload(10));
+    });
+    let h = sim.spawn(m, "check", move |ctx| {
+        for nic in &nics {
+            assert!(nic.rx().recv(ctx).is_some());
+        }
+    });
+    sim.run_until_finished(&h).expect("run");
+}
+
+#[test]
+fn switch_forwards_unicast_across_segments() {
+    let mut sim = Simulation::new(1);
+    let mut net = Network::new(NetConfig::default());
+    let s0 = net.add_segment(&mut sim, "s0");
+    let s1 = net.add_segment(&mut sim, "s1");
+    net.add_switch(&mut sim, &[s0, s1], "sw");
+    let a = net.attach(MacAddr(0), s0);
+    let b = net.attach(MacAddr(1), s1);
+    let m = sim.add_processor("m");
+    sim.spawn(m, "send", move |ctx| {
+        a.send(ctx, Dest::Unicast(MacAddr(1)), payload(200));
+    });
+    let h = sim.spawn(m, "check", move |ctx| {
+        let f = b.rx().recv(ctx).expect("forwarded frame");
+        assert_eq!(f.src, MacAddr(0));
+        // Crossing the switch costs two wire transits plus switch latency.
+        let one_wire = (200 + FRAME_OVERHEAD_BYTES) as u64 * 800;
+        assert_eq!(ctx.now().as_nanos(), 2 * one_wire + 30_000);
+    });
+    sim.run_until_finished(&h).expect("run");
+}
+
+#[test]
+fn switch_does_not_reinject_local_traffic() {
+    let mut sim = Simulation::new(1);
+    let mut net = Network::new(NetConfig::default());
+    let s0 = net.add_segment(&mut sim, "s0");
+    let s1 = net.add_segment(&mut sim, "s1");
+    net.add_switch(&mut sim, &[s0, s1], "sw");
+    let a = net.attach(MacAddr(0), s0);
+    let b = net.attach(MacAddr(1), s0); // same segment
+    let m = sim.add_processor("m");
+    let net2 = net.clone();
+    let h = sim.spawn(m, "t", move |ctx| {
+        a.send(ctx, Dest::Unicast(MacAddr(1)), payload(50));
+        let _ = b.rx().recv(ctx).expect("local delivery");
+        ctx.sleep(us(2000));
+        // The other segment carried nothing.
+        assert_eq!(net2.segment_stats(s1).frames, 0);
+    });
+    sim.run_until_finished(&h).expect("run");
+}
+
+#[test]
+fn switch_floods_multicast_to_other_segments_once() {
+    let mut sim = Simulation::new(1);
+    let mut net = Network::new(NetConfig::default());
+    let s0 = net.add_segment(&mut sim, "s0");
+    let s1 = net.add_segment(&mut sim, "s1");
+    let s2 = net.add_segment(&mut sim, "s2");
+    net.add_switch(&mut sim, &[s0, s1, s2], "sw");
+    let a = net.attach(MacAddr(0), s0);
+    let b = net.attach(MacAddr(1), s1);
+    let c = net.attach(MacAddr(2), s2);
+    let g = McastAddr(1);
+    b.join_group(g);
+    c.join_group(g);
+    let m = sim.add_processor("m");
+    sim.spawn(m, "send", move |ctx| {
+        a.send(ctx, Dest::Multicast(g), payload(64));
+    });
+    let net2 = net.clone();
+    let h = sim.spawn(m, "check", move |ctx| {
+        assert!(b.rx().recv(ctx).is_some());
+        assert!(c.rx().recv(ctx).is_some());
+        ctx.sleep(us(5000));
+        // Exactly one frame per segment: no switch loops.
+        for seg in [s0, s1, s2] {
+            assert_eq!(net2.segment_stats(seg).frames, 1, "{seg}");
+        }
+        assert!(b.rx().is_empty());
+        assert!(c.rx().is_empty());
+    });
+    sim.run_until_finished(&h).expect("run");
+}
+
+#[test]
+fn forced_drops_lose_frames() {
+    let mut sim = Simulation::new(1);
+    let mut net = Network::new(NetConfig::default());
+    let seg = net.add_segment(&mut sim, "s0");
+    let a = net.attach(MacAddr(0), seg);
+    let b = net.attach(MacAddr(1), seg);
+    net.faults().lock().force_drop_next = 1;
+    let m = sim.add_processor("m");
+    let net2 = net.clone();
+    let h = sim.spawn(m, "t", move |ctx| {
+        a.send(ctx, Dest::Unicast(MacAddr(1)), payload(10));
+        a.send(ctx, Dest::Unicast(MacAddr(1)), payload(10));
+        let f = b.rx().recv(ctx).expect("second frame survives");
+        assert_eq!(f.payload.len(), 10);
+        let stats = net2.segment_stats(seg);
+        assert_eq!(stats.wire_drops, 1);
+        assert_eq!(stats.frames, 1);
+    });
+    sim.run_until_finished(&h).expect("run");
+}
+
+#[test]
+fn probabilistic_loss_is_deterministic_per_seed() {
+    fn losses(seed: u64) -> u64 {
+        let mut sim = Simulation::new(seed);
+        let mut net = Network::new(NetConfig::default());
+        let seg = net.add_segment(&mut sim, "s0");
+        let a = net.attach(MacAddr(0), seg);
+        let _b = net.attach(MacAddr(1), seg);
+        net.faults().lock().wire_loss_prob = 0.3;
+        let m = sim.add_processor("m");
+        let h = sim.spawn(m, "t", move |ctx| {
+            for _ in 0..100 {
+                a.send(ctx, Dest::Unicast(MacAddr(1)), payload(10));
+            }
+            ctx.sleep(desim::ms(100));
+        });
+        sim.run_until_finished(&h).expect("run");
+        net.segment_stats(seg).wire_drops
+    }
+    let first = losses(42);
+    assert!(first > 5 && first < 70, "plausible loss count, got {first}");
+    assert_eq!(first, losses(42));
+}
+
+#[test]
+fn utilization_reflects_busy_medium() {
+    let mut sim = Simulation::new(1);
+    let mut net = Network::new(NetConfig::default());
+    let seg = net.add_segment(&mut sim, "s0");
+    let a = net.attach(MacAddr(0), seg);
+    let b = net.attach(MacAddr(1), seg);
+    let m = sim.add_processor("m");
+    let h = sim.spawn(m, "t", move |ctx| {
+        for _ in 0..8 {
+            a.send(ctx, Dest::Unicast(MacAddr(1)), payload(1500));
+        }
+        for _ in 0..8 {
+            let _ = b.rx().recv(ctx);
+        }
+    });
+    sim.run_until_finished(&h).expect("run");
+    let stats = net.segment_stats(seg);
+    let elapsed = sim.now().duration_since(desim::SimTime::ZERO);
+    let u = stats.utilization(elapsed);
+    assert!(u > 0.99, "back-to-back full frames saturate the wire: {u}");
+    let _: SimChannel<u8> = SimChannel::new(); // keep import used
+}

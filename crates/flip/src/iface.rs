@@ -1,0 +1,497 @@
+//! The per-machine FLIP interface: routing, locate, fragmentation,
+//! reassembly, and group communication.
+//!
+//! The interface is pure protocol logic: it charges no CPU time itself. The
+//! Amoeba kernel model (crate `amoeba`) wraps every entry point with the
+//! appropriate system-call, interrupt, and copy costs, so the same code can
+//! be accounted as kernel-resident (cheap to reach from interrupts, expensive
+//! from user space) on both protocol stacks.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::{Bytes, BytesMut};
+use desim::{Ctx, SimDuration, SimTime};
+use ethernet::{Dest, Frame, MacAddr, McastAddr, Nic};
+use parking_lot::Mutex;
+
+use crate::addr::FlipAddr;
+use crate::header::{PacketHeader, PacketType, FLIP_FRAGMENT_BYTES, MAX_MESSAGE_BYTES};
+
+/// How long a packet queued behind an unresolved locate may wait before it is
+/// discarded (FLIP is unreliable; upper layers retransmit).
+const PENDING_TIMEOUT: SimDuration = SimDuration::from_millis(10);
+
+/// Minimum spacing between repeated locate broadcasts for one address.
+const LOCATE_RETRY: SimDuration = SimDuration::from_micros(500);
+
+/// Reassembly buffers older than this are discarded.
+const REASSEMBLY_TIMEOUT: SimDuration = SimDuration::from_millis(100);
+
+/// A fully reassembled FLIP message delivered to the layer above.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlipMessage {
+    /// Sending entity.
+    pub src: FlipAddr,
+    /// Destination entity or group.
+    pub dst: FlipAddr,
+    /// Message body.
+    pub payload: Bytes,
+    /// `true` if the message arrived via group multicast.
+    pub multicast: bool,
+}
+
+/// Cumulative per-interface counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlipStats {
+    /// Data messages sent (unicast + multicast).
+    pub msgs_sent: u64,
+    /// Data packets (fragments) sent.
+    pub packets_sent: u64,
+    /// Complete messages delivered upward.
+    pub msgs_delivered: u64,
+    /// Data packets received.
+    pub packets_received: u64,
+    /// Locate broadcasts sent.
+    pub locates_sent: u64,
+    /// Packets discarded while waiting for a locate that never resolved.
+    pub pending_expired: u64,
+    /// Partial messages dropped by the reassembly timeout.
+    pub reassembly_drops: u64,
+    /// Data packets that arrived for an address not present here.
+    pub misdelivered: u64,
+}
+
+struct Partial {
+    total_len: usize,
+    received: usize,
+    have: HashSet<u32>,
+    buf: BytesMut,
+    started: SimTime,
+    multicast: bool,
+}
+
+struct PendingSend {
+    src: FlipAddr,
+    payload: Bytes,
+    queued_at: SimTime,
+}
+
+struct IfaceState {
+    local: HashSet<FlipAddr>,
+    groups: HashMap<FlipAddr, McastAddr>,
+    routes: HashMap<FlipAddr, MacAddr>,
+    pending: HashMap<FlipAddr, VecDeque<PendingSend>>,
+    last_locate: HashMap<FlipAddr, SimTime>,
+    reassembly: HashMap<(FlipAddr, u64), Partial>,
+    next_msg_id: u64,
+    stats: FlipStats,
+}
+
+/// A FLIP network interface bound to one NIC.
+///
+/// Clonable handle; clones share all interface state.
+#[derive(Clone)]
+pub struct FlipIface {
+    nic: Nic,
+    iface_addr: FlipAddr,
+    state: Arc<Mutex<IfaceState>>,
+}
+
+impl fmt::Debug for FlipIface {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlipIface")
+            .field("mac", &self.nic.mac())
+            .field("iface_addr", &self.iface_addr)
+            .finish()
+    }
+}
+
+impl FlipIface {
+    /// Creates a FLIP interface on `nic`.
+    pub fn new(nic: Nic) -> Self {
+        let iface_addr = FlipAddr::for_interface(nic.mac());
+        FlipIface {
+            nic,
+            iface_addr,
+            state: Arc::new(Mutex::new(IfaceState {
+                local: HashSet::new(),
+                groups: HashMap::new(),
+                routes: HashMap::new(),
+                pending: HashMap::new(),
+                last_locate: HashMap::new(),
+                reassembly: HashMap::new(),
+                next_msg_id: 1,
+                stats: FlipStats::default(),
+            })),
+        }
+    }
+
+    /// The station this interface sends from.
+    pub fn mac(&self) -> MacAddr {
+        self.nic.mac()
+    }
+
+    /// The NIC backing this interface (its `rx` queue carries raw frames for
+    /// the kernel receive loop).
+    pub fn nic(&self) -> &Nic {
+        &self.nic
+    }
+
+    /// Snapshot of the interface counters.
+    pub fn stats(&self) -> FlipStats {
+        self.state.lock().stats.clone()
+    }
+
+    /// Registers `addr` as present on this machine; locate queries will now
+    /// resolve here and arriving data for `addr` is delivered.
+    pub fn register(&self, addr: FlipAddr) {
+        self.state.lock().local.insert(addr);
+    }
+
+    /// Removes `addr` from this machine (the entity moved or exited).
+    pub fn unregister(&self, addr: FlipAddr) {
+        self.state.lock().local.remove(&addr);
+    }
+
+    /// Returns `true` if `addr` is registered locally.
+    pub fn is_local(&self, addr: FlipAddr) -> bool {
+        self.state.lock().local.contains(&addr)
+    }
+
+    /// Joins group `group` mapped onto the Ethernet multicast `eth`.
+    /// Messages sent to `group` will be delivered here.
+    pub fn join_group(&self, group: FlipAddr, eth: McastAddr) {
+        self.nic.join_group(eth);
+        let mut st = self.state.lock();
+        st.groups.insert(group, eth);
+    }
+
+    /// Leaves `group`.
+    pub fn leave_group(&self, group: FlipAddr) {
+        let mut st = self.state.lock();
+        if let Some(eth) = st.groups.remove(&group) {
+            drop(st);
+            self.nic.leave_group(eth);
+        }
+    }
+
+    /// Sends `payload` unreliably from `src` to entity `dst`.
+    ///
+    /// If `dst` is registered on this machine the message is returned for
+    /// local delivery instead of touching the network. If the destination's
+    /// location is unknown, the packet is queued behind a locate broadcast
+    /// and silently discarded if the locate never resolves (FLIP is
+    /// unreliable by contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` exceeds [`MAX_MESSAGE_BYTES`].
+    pub fn send(
+        &self,
+        ctx: &Ctx,
+        src: FlipAddr,
+        dst: FlipAddr,
+        payload: Bytes,
+    ) -> Option<FlipMessage> {
+        assert!(payload.len() <= MAX_MESSAGE_BYTES, "message too large for FLIP");
+        let route = {
+            let mut st = self.state.lock();
+            if st.local.contains(&dst) {
+                st.stats.msgs_sent += 1;
+                st.stats.msgs_delivered += 1;
+                return Some(FlipMessage {
+                    src,
+                    dst,
+                    payload,
+                    multicast: false,
+                });
+            }
+            st.routes.get(&dst).copied()
+        };
+        match route {
+            Some(mac) => {
+                self.transmit_fragments(ctx, src, dst, payload, Dest::Unicast(mac), false);
+                None
+            }
+            None => {
+                self.queue_pending_and_locate(ctx, src, dst, payload);
+                None
+            }
+        }
+    }
+
+    /// Sends `payload` unreliably from `src` to every member of `group`.
+    ///
+    /// Returns the message for local self-delivery if this machine is itself
+    /// a member (Ethernet does not loop frames back to the sender).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this machine never joined `group`, or the payload exceeds
+    /// [`MAX_MESSAGE_BYTES`]. Sending to a group requires membership in this
+    /// simplified FLIP (all the paper's protocols satisfy that).
+    pub fn send_group(
+        &self,
+        ctx: &Ctx,
+        src: FlipAddr,
+        group: FlipAddr,
+        payload: Bytes,
+    ) -> Option<FlipMessage> {
+        assert!(payload.len() <= MAX_MESSAGE_BYTES, "message too large for FLIP");
+        let eth = {
+            let st = self.state.lock();
+            *st.groups.get(&group).expect("send_group requires membership")
+        };
+        self.transmit_fragments(ctx, src, group, payload.clone(), Dest::Multicast(eth), true);
+        Some(FlipMessage {
+            src,
+            dst: group,
+            payload,
+            multicast: true,
+        })
+    }
+
+    /// Processes one raw Ethernet frame. Returns any messages that completed
+    /// reassembly and are addressed to entities or groups present here.
+    ///
+    /// Call this from the machine's network receive loop for every frame on
+    /// [`FlipIface::nic`]'s `rx` queue.
+    pub fn handle_frame(&self, ctx: &Ctx, frame: &Frame) -> Vec<FlipMessage> {
+        let Ok((header, data)) = PacketHeader::decode(&frame.payload) else {
+            return Vec::new(); // not FLIP or corrupt: ignore
+        };
+        match header.ptype {
+            PacketType::Locate => {
+                let is_here = {
+                    let st = self.state.lock();
+                    st.local.contains(&header.dst)
+                };
+                if is_here {
+                    let reply = PacketHeader {
+                        dst: header.dst,
+                        src: self.iface_addr,
+                        msg_id: 0,
+                        offset: 0,
+                        total_len: 0,
+                        ptype: PacketType::LocateReply,
+                        multicast: false,
+                    };
+                    self.nic
+                        .send(ctx, Dest::Unicast(frame.src), reply.encode_with(&[]));
+                }
+                Vec::new()
+            }
+            PacketType::LocateReply => {
+                let flush: Vec<PendingSend> = {
+                    let mut st = self.state.lock();
+                    st.routes.insert(header.dst, frame.src);
+                    st.pending
+                        .remove(&header.dst)
+                        .map(|q| q.into_iter().collect())
+                        .unwrap_or_default()
+                };
+                let now = ctx.now();
+                for p in flush {
+                    if now.saturating_duration_since(p.queued_at) > PENDING_TIMEOUT {
+                        self.state.lock().stats.pending_expired += 1;
+                        continue;
+                    }
+                    self.transmit_fragments(
+                        ctx,
+                        p.src,
+                        header.dst,
+                        p.payload,
+                        Dest::Unicast(frame.src),
+                        false,
+                    );
+                }
+                Vec::new()
+            }
+            PacketType::NotHere => {
+                let mut st = self.state.lock();
+                st.routes.remove(&header.dst);
+                Vec::new()
+            }
+            PacketType::Data => self.handle_data(ctx, frame.src, header, data),
+        }
+    }
+
+    fn handle_data(
+        &self,
+        ctx: &Ctx,
+        from_mac: MacAddr,
+        header: PacketHeader,
+        data: Bytes,
+    ) -> Vec<FlipMessage> {
+        let deliverable = {
+            let st = self.state.lock();
+            if header.multicast {
+                st.groups.contains_key(&header.dst)
+            } else {
+                st.local.contains(&header.dst)
+            }
+        };
+        if !deliverable {
+            let mut st = self.state.lock();
+            st.stats.misdelivered += 1;
+            drop(st);
+            if !header.multicast {
+                // Stale route at the sender: tell it to re-locate.
+                let nack = PacketHeader {
+                    dst: header.dst,
+                    src: self.iface_addr,
+                    msg_id: 0,
+                    offset: 0,
+                    total_len: 0,
+                    ptype: PacketType::NotHere,
+                    multicast: false,
+                };
+                self.nic
+                    .send(ctx, Dest::Unicast(from_mac), nack.encode_with(&[]));
+            }
+            return Vec::new();
+        }
+
+        let now = ctx.now();
+        let mut st = self.state.lock();
+        st.stats.packets_received += 1;
+        // Lazy reassembly garbage collection.
+        let expired: Vec<(FlipAddr, u64)> = st
+            .reassembly
+            .iter()
+            .filter(|(_, p)| now.saturating_duration_since(p.started) > REASSEMBLY_TIMEOUT)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in expired {
+            st.reassembly.remove(&k);
+            st.stats.reassembly_drops += 1;
+        }
+
+        let total = header.total_len as usize;
+        if total > MAX_MESSAGE_BYTES || (header.offset as usize) >= total.max(1) && total != 0 {
+            return Vec::new(); // malformed
+        }
+        let key = (header.src, header.msg_id);
+        let entry = st.reassembly.entry(key).or_insert_with(|| Partial {
+            total_len: total,
+            received: 0,
+            have: HashSet::new(),
+            buf: BytesMut::zeroed(total),
+            started: now,
+            multicast: header.multicast,
+        });
+        if entry.total_len != total {
+            return Vec::new(); // inconsistent fragments: drop silently
+        }
+        let off = header.offset as usize;
+        let end = off + data.len();
+        if end > total {
+            return Vec::new();
+        }
+        if entry.have.insert(header.offset) {
+            entry.buf[off..end].copy_from_slice(&data);
+            entry.received += data.len();
+        }
+        if entry.received >= entry.total_len {
+            let done = st.reassembly.remove(&key).expect("entry present");
+            st.stats.msgs_delivered += 1;
+            vec![FlipMessage {
+                src: header.src,
+                dst: header.dst,
+                payload: done.buf.freeze(),
+                multicast: done.multicast,
+            }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn queue_pending_and_locate(&self, ctx: &Ctx, src: FlipAddr, dst: FlipAddr, payload: Bytes) {
+        let now = ctx.now();
+        let send_locate = {
+            let mut st = self.state.lock();
+            // Expire rotten pending packets while we are here.
+            let expired: Vec<FlipAddr> = st
+                .pending
+                .iter()
+                .filter(|(_, q)| {
+                    q.front()
+                        .is_some_and(|p| now.saturating_duration_since(p.queued_at) > PENDING_TIMEOUT)
+                })
+                .map(|(a, _)| *a)
+                .collect();
+            for a in expired {
+                if let Some(q) = st.pending.remove(&a) {
+                    st.stats.pending_expired += q.len() as u64;
+                }
+            }
+            st.pending.entry(dst).or_default().push_back(PendingSend {
+                src,
+                payload,
+                queued_at: now,
+            });
+            let due = match st.last_locate.get(&dst) {
+                Some(t) => now.saturating_duration_since(*t) >= LOCATE_RETRY,
+                None => true,
+            };
+            if due {
+                st.last_locate.insert(dst, now);
+                st.stats.locates_sent += 1;
+            }
+            due
+        };
+        if send_locate {
+            let query = PacketHeader {
+                dst,
+                src: self.iface_addr,
+                msg_id: 0,
+                offset: 0,
+                total_len: 0,
+                ptype: PacketType::Locate,
+                multicast: false,
+            };
+            self.nic.send(ctx, Dest::Broadcast, query.encode_with(&[]));
+        }
+    }
+
+    fn transmit_fragments(
+        &self,
+        ctx: &Ctx,
+        src: FlipAddr,
+        dst: FlipAddr,
+        payload: Bytes,
+        eth_dst: Dest,
+        multicast: bool,
+    ) {
+        let msg_id = {
+            let mut st = self.state.lock();
+            st.stats.msgs_sent += 1;
+            let id = st.next_msg_id;
+            st.next_msg_id += 1;
+            id
+        };
+        let total_len = payload.len() as u32;
+        let mut offset = 0usize;
+        loop {
+            let end = (offset + FLIP_FRAGMENT_BYTES).min(payload.len());
+            let chunk = payload.slice(offset..end);
+            let header = PacketHeader {
+                dst,
+                src,
+                msg_id,
+                offset: offset as u32,
+                total_len,
+                ptype: PacketType::Data,
+                multicast,
+            };
+            self.nic.send(ctx, eth_dst, header.encode_with(&chunk));
+            self.state.lock().stats.packets_sent += 1;
+            offset = end;
+            if offset >= payload.len() {
+                break;
+            }
+        }
+    }
+}

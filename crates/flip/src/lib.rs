@@ -1,0 +1,33 @@
+//! # flip — the Fast Local Internet Protocol
+//!
+//! A reproduction of FLIP (Kaashoek, van Renesse, van Staveren, Tanenbaum,
+//! ACM TOCS 1993), the network layer of the Amoeba distributed operating
+//! system and the substrate both protocol stacks in the paper run on:
+//!
+//! - **location-transparent addressing** ([`FlipAddr`]): entities, not hosts,
+//!   are addressed; a broadcast locate protocol resolves locations at run
+//!   time and stale routes are invalidated with "not here" packets;
+//! - **fragmentation** of messages up to a megabyte into 1500-byte Ethernet
+//!   frames, with reassembly at the receiving interface;
+//! - **group communication**: FLIP group addresses map onto Ethernet
+//!   hardware multicast;
+//! - **unreliability by contract**: packets queued behind an unresolved
+//!   locate or stuck in reassembly are eventually discarded; recovery belongs
+//!   to the protocols above (Amoeba RPC / Panda).
+//!
+//! The interface charges no CPU time itself; the `amoeba` crate wraps it with
+//! the kernel cost model.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod addr;
+mod header;
+mod iface;
+
+pub use addr::FlipAddr;
+pub use header::{
+    DecodeError, PacketHeader, PacketType, FLIP_FRAGMENT_BYTES, FLIP_HEADER_BYTES,
+    MAX_MESSAGE_BYTES,
+};
+pub use iface::{FlipIface, FlipMessage, FlipStats};

@@ -1,0 +1,38 @@
+//! # orca — the Orca runtime system on Panda
+//!
+//! The language runtime the paper's applications are written against
+//! (Section 2): parallel processes share **data-objects** — instances of
+//! abstract data types whose operations execute indivisibly. The runtime
+//! decides per object whether to replicate it (reads local, writes totally
+//! ordered broadcasts) or keep a single copy (remote operations by RPC), and
+//! implements guarded operations with **continuations** so a blocked remote
+//! invocation occupies no server thread: the thread that makes the guard
+//! true executes the operation and sends the reply itself.
+//!
+//! That last mechanism is the paper's sharpest point of comparison: the
+//! flexible user-space Panda RPC transmits such replies directly from the
+//! mutating thread, while Amoeba's kernel RPC demands that `put_reply` come
+//! from the `get_request` thread — forcing an extra context switch per
+//! blocked operation, which is visible in whole-application runtimes
+//! (Region Labeling and SOR in Table 3).
+//!
+//! The runtime is implementation-agnostic: build it on either
+//! [`panda::KernelSpacePanda`] or [`panda::UserSpacePanda`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod object;
+mod rts;
+mod stdobj;
+mod wire;
+mod world;
+
+pub use object::{ObjId, ObjectType, OpCode, OpResult, Placement};
+pub use rts::{OrcaError, OrcaRts, RtsStats};
+pub use stdobj::{
+    barrier_ops, board_ops, buffer_ops, int_ops, queue_ops, Barrier, BarrierHandle, BoardHandle,
+    BoundedBuffer, BufferHandle, IntHandle, IterBoard, JobQueue, QueueHandle, SharedInt,
+};
+pub use wire::{WireError, WireReader, WireWriter};
+pub use world::OrcaWorld;

@@ -1,0 +1,74 @@
+//! Shared data-objects: the Orca programming model.
+//!
+//! A shared object is an instance of an abstract data type; its state is
+//! only reachable through the operations the type defines, each executed
+//! indivisibly. Operations may carry a *guard*: the operation blocks until
+//! the guard holds, then executes atomically (Section 2 of the paper).
+
+use std::fmt;
+
+use bytes::Bytes;
+
+/// Identifies a shared object within one [`crate::OrcaWorld`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(pub u32);
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj:{}", self.0)
+    }
+}
+
+/// Operation code within an object type.
+pub type OpCode = u16;
+
+/// Outcome of applying an operation to an object's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpResult {
+    /// The operation executed; marshalled result.
+    Done(Bytes),
+    /// The guard is false: the state was not modified and the operation must
+    /// be retried after the next mutation (the runtime queues a
+    /// continuation).
+    Blocked,
+}
+
+/// An Orca abstract data type.
+///
+/// Implementations must be **deterministic**: replicas apply the same
+/// operations in the same (total) order and must reach identical states.
+/// `apply` with a false guard must return [`OpResult::Blocked`] *without*
+/// modifying state.
+pub trait ObjectType: Send + 'static {
+    /// Applies operation `op` with marshalled arguments `args`.
+    fn apply(&mut self, op: OpCode, args: &[u8]) -> OpResult;
+
+    /// Returns `true` if `op` never modifies the state. Read-only operations
+    /// on replicated objects execute locally without communication.
+    fn is_read_only(&self, op: OpCode) -> bool;
+
+    /// Short type name for diagnostics.
+    fn type_name(&self) -> &'static str {
+        "object"
+    }
+}
+
+/// Where an object's state lives — the runtime's placement decision, which
+/// the real system derives from compiler heuristics (read/write ratios).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// A copy on every node; reads are local, writes are totally ordered
+    /// broadcasts.
+    Replicated,
+    /// A single copy on one node; remote operations go through RPC.
+    OwnedBy(u32),
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Placement::Replicated => write!(f, "replicated"),
+            Placement::OwnedBy(n) => write!(f, "owned by node {n}"),
+        }
+    }
+}

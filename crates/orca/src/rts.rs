@@ -1,0 +1,426 @@
+//! The Orca runtime system (RTS): object management, placement, operation
+//! dispatch, and continuations for guarded operations.
+//!
+//! - Read-only operations on replicated objects run locally.
+//! - Write operations on replicated objects are broadcast with Panda's
+//!   totally ordered group communication and applied at every replica, which
+//!   keeps all copies consistent (Section 2).
+//! - Operations on single-copy objects go through Panda RPC to the owner.
+//! - A guarded operation whose guard is false does not block a server
+//!   thread: the RTS queues a **continuation** at the object and the thread
+//!   that later makes the guard true executes the operation and sends the
+//!   reply itself. Only the flexible user-space protocols can send that
+//!   reply from the mutating thread; the kernel-space implementation must
+//!   signal the original server thread (Section 3.1).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use desim::{Ctx, SimChannel, SimDuration};
+use parking_lot::Mutex;
+
+use panda::{CommError, GroupDelivery, NodeId, Panda, ReplyTicket};
+
+use crate::object::{ObjId, ObjectType, OpCode, OpResult, Placement};
+use crate::wire::{WireReader, WireWriter};
+
+/// CPU cost of dispatching one Orca operation (marshalling, table lookups).
+const OP_DISPATCH: SimDuration = SimDuration::from_micros(5);
+
+/// Errors surfaced by [`OrcaRts::invoke`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrcaError {
+    /// The underlying communication failed permanently.
+    Comm(CommError),
+    /// The object is not known at this node.
+    UnknownObject(ObjId),
+}
+
+impl fmt::Display for OrcaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrcaError::Comm(e) => write!(f, "communication failed: {e}"),
+            OrcaError::UnknownObject(o) => write!(f, "unknown object {o}"),
+        }
+    }
+}
+
+impl std::error::Error for OrcaError {}
+
+impl From<CommError> for OrcaError {
+    fn from(e: CommError) -> Self {
+        OrcaError::Comm(e)
+    }
+}
+
+/// Per-node RTS statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RtsStats {
+    /// Operations executed without communication.
+    pub local_ops: u64,
+    /// RPCs issued to object owners.
+    pub rpcs: u64,
+    /// Totally ordered broadcasts issued for replicated writes.
+    pub broadcasts: u64,
+    /// Guarded operations that blocked and were queued as continuations.
+    pub continuations_queued: u64,
+    /// Continuations later resumed by a mutating operation.
+    pub continuations_resumed: u64,
+}
+
+enum ContReply {
+    /// Remote caller: answer through Panda (any thread may do it).
+    Remote(ReplyTicket),
+    /// Local blocked invocation.
+    Local(SimChannel<Bytes>),
+    /// Origin of a replicated write; fulfilled through the waiter table.
+    GroupOrigin(u64),
+    /// Non-origin replica of a blocked replicated write: execute for state
+    /// consistency, nobody waits for the result.
+    Quiet,
+}
+
+struct Continuation {
+    op: OpCode,
+    args: Bytes,
+    reply: ContReply,
+}
+
+struct ObjectEntry {
+    placement: Placement,
+    state: Option<Box<dyn ObjectType>>,
+    conts: Vec<Continuation>,
+}
+
+/// The runtime system instance of one node.
+pub struct OrcaRts {
+    node: NodeId,
+    panda: Arc<dyn Panda>,
+    objects: Mutex<HashMap<ObjId, ObjectEntry>>,
+    group_waiters: Mutex<HashMap<u64, SimChannel<Bytes>>>,
+    next_inv: AtomicU64,
+    stats: Mutex<RtsStats>,
+}
+
+impl fmt::Debug for OrcaRts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrcaRts").field("node", &self.node).finish()
+    }
+}
+
+impl OrcaRts {
+    /// Creates the RTS for `panda`'s node and installs the communication
+    /// upcalls.
+    pub fn install(panda: Arc<dyn Panda>) -> Arc<OrcaRts> {
+        let rts = Arc::new(OrcaRts {
+            node: panda.node(),
+            panda: Arc::clone(&panda),
+            objects: Mutex::new(HashMap::new()),
+            group_waiters: Mutex::new(HashMap::new()),
+            next_inv: AtomicU64::new(1),
+            stats: Mutex::new(RtsStats::default()),
+        });
+        let rpc_rts = Arc::clone(&rts);
+        panda.set_rpc_handler(Arc::new(move |ctx, from, req, ticket| {
+            rpc_rts.rpc_upcall(ctx, from, req, ticket);
+        }));
+        let grp_rts = Arc::clone(&rts);
+        panda.set_group_handler(Arc::new(move |ctx, delivery| {
+            grp_rts.group_upcall(ctx, delivery);
+        }));
+        rts
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Total application nodes.
+    pub fn nodes(&self) -> u32 {
+        self.panda.nodes()
+    }
+
+    /// The Panda instance underneath (for spawning on the right CPU).
+    pub fn panda(&self) -> &Arc<dyn Panda> {
+        &self.panda
+    }
+
+    /// Snapshot of this node's statistics.
+    pub fn stats(&self) -> RtsStats {
+        self.stats.lock().clone()
+    }
+
+    /// Registers an object at this node. For [`Placement::Replicated`] call
+    /// this (with an identically-initializing factory) on every node; for
+    /// [`Placement::OwnedBy`], state is instantiated only at the owner but
+    /// the placement must still be registered everywhere.
+    pub fn register_object(
+        &self,
+        id: ObjId,
+        placement: Placement,
+        factory: impl FnOnce() -> Box<dyn ObjectType>,
+    ) {
+        let holds_state = match placement {
+            Placement::Replicated => true,
+            Placement::OwnedBy(owner) => owner == self.node,
+        };
+        let entry = ObjectEntry {
+            placement,
+            state: holds_state.then(factory),
+            conts: Vec::new(),
+        };
+        let prev = self.objects.lock().insert(id, entry);
+        assert!(prev.is_none(), "object {id} registered twice on node {}", self.node);
+    }
+
+    /// Invokes operation `op` on object `id`, blocking until it completes
+    /// (guards included).
+    ///
+    /// # Errors
+    ///
+    /// [`OrcaError::UnknownObject`] if `id` was never registered here;
+    /// [`OrcaError::Comm`] if the owner or sequencer is unreachable.
+    pub fn invoke(&self, ctx: &Ctx, id: ObjId, op: OpCode, args: &[u8]) -> Result<Bytes, OrcaError> {
+        ctx.compute(OP_DISPATCH);
+        let route = {
+            let objects = self.objects.lock();
+            let entry = objects.get(&id).ok_or(OrcaError::UnknownObject(id))?;
+            match entry.placement {
+                Placement::Replicated => {
+                    let ro = entry
+                        .state
+                        .as_ref()
+                        .expect("replicated state present")
+                        .is_read_only(op);
+                    if ro {
+                        Route::Local
+                    } else {
+                        Route::Broadcast
+                    }
+                }
+                Placement::OwnedBy(owner) if owner == self.node => Route::Local,
+                Placement::OwnedBy(owner) => Route::Rpc(owner),
+            }
+        };
+        match route {
+            Route::Local => self.invoke_local(ctx, id, op, args),
+            Route::Rpc(owner) => self.invoke_rpc(ctx, owner, id, op, args),
+            Route::Broadcast => self.invoke_broadcast(ctx, id, op, args),
+        }
+    }
+
+    // -- local execution ----------------------------------------------------
+
+    fn invoke_local(
+        &self,
+        ctx: &Ctx,
+        id: ObjId,
+        op: OpCode,
+        args: &[u8],
+    ) -> Result<Bytes, OrcaError> {
+        self.stats.lock().local_ops += 1;
+        let slot = SimChannel::new();
+        let (done, outs) = {
+            let mut objects = self.objects.lock();
+            let entry = objects.get_mut(&id).expect("checked in invoke");
+            self.apply_locked(entry, op, args, || ContReply::Local(slot.clone()))
+        };
+        self.dispatch_outs(ctx, outs);
+        match done {
+            Some(result) => Ok(result),
+            None => Ok(slot.recv(ctx).expect("continuation always answered")),
+        }
+    }
+
+    // -- RPC to the owner ----------------------------------------------------
+
+    fn invoke_rpc(
+        &self,
+        ctx: &Ctx,
+        owner: NodeId,
+        id: ObjId,
+        op: OpCode,
+        args: &[u8],
+    ) -> Result<Bytes, OrcaError> {
+        self.stats.lock().rpcs += 1;
+        let mut w = WireWriter::with_capacity(10 + args.len());
+        w.put_u32(id.0).put_u16(op).put_bytes(args);
+        let reply = self.panda.rpc(ctx, owner, w.finish())?;
+        Ok(reply)
+    }
+
+    fn rpc_upcall(&self, ctx: &Ctx, _from: NodeId, req: Bytes, ticket: ReplyTicket) {
+        let mut r = WireReader::new(&req);
+        let id = ObjId(r.get_u32().expect("well-formed request"));
+        let op = r.get_u16().expect("well-formed request");
+        let args = Bytes::copy_from_slice(r.get_bytes().expect("well-formed request"));
+        let mut ticket_slot = Some(ticket);
+        let (done, outs) = {
+            let mut objects = self.objects.lock();
+            let entry = objects.get_mut(&id).expect("owner knows the object");
+            debug_assert!(
+                matches!(entry.placement, Placement::OwnedBy(o) if o == self.node),
+                "RPC arrived at a non-owner"
+            );
+            self.apply_locked(entry, op, &args, || {
+                ContReply::Remote(ticket_slot.take().expect("single block per apply"))
+            })
+        };
+        if let Some(result) = done {
+            // Immediate reply from the upcall (run-to-completion); the
+            // ticket was not consumed by a continuation.
+            let ticket = ticket_slot.take().expect("ticket unused on completion");
+            self.panda.reply(ctx, ticket, result);
+        }
+        self.dispatch_outs(ctx, outs);
+    }
+
+    // -- replicated writes ----------------------------------------------------
+
+    fn invoke_broadcast(
+        &self,
+        ctx: &Ctx,
+        id: ObjId,
+        op: OpCode,
+        args: &[u8],
+    ) -> Result<Bytes, OrcaError> {
+        self.stats.lock().broadcasts += 1;
+        let inv = self.next_inv.fetch_add(1, Ordering::SeqCst);
+        let slot = SimChannel::new();
+        self.group_waiters.lock().insert(inv, slot.clone());
+        let mut w = WireWriter::with_capacity(20 + args.len());
+        w.put_u32(id.0)
+            .put_u16(op)
+            .put_u32(self.node)
+            .put_u64(inv)
+            .put_bytes(args);
+        let sent = self.panda.group_send(ctx, w.finish());
+        if let Err(e) = sent {
+            self.group_waiters.lock().remove(&inv);
+            return Err(e.into());
+        }
+        Ok(slot.recv(ctx).expect("own broadcast always applied locally"))
+    }
+
+    fn group_upcall(&self, ctx: &Ctx, delivery: GroupDelivery) {
+        let mut r = WireReader::new(&delivery.payload);
+        let id = ObjId(r.get_u32().expect("well-formed broadcast"));
+        let op = r.get_u16().expect("well-formed broadcast");
+        let origin = r.get_u32().expect("well-formed broadcast");
+        let inv = r.get_u64().expect("well-formed broadcast");
+        let args = Bytes::copy_from_slice(r.get_bytes().expect("well-formed broadcast"));
+        let (done, outs) = {
+            let mut objects = self.objects.lock();
+            let entry = objects.get_mut(&id).expect("replica present everywhere");
+            self.apply_locked(entry, op, &args, || {
+                if origin == self.node {
+                    ContReply::GroupOrigin(inv)
+                } else {
+                    ContReply::Quiet
+                }
+            })
+        };
+        if let Some(result) = done {
+            if origin == self.node {
+                self.fulfill_group(ctx, inv, result);
+            }
+        }
+        self.dispatch_outs(ctx, outs);
+    }
+
+    fn fulfill_group(&self, ctx: &Ctx, inv: u64, result: Bytes) {
+        if let Some(slot) = self.group_waiters.lock().remove(&inv) {
+            let _ = slot.send(ctx, result);
+        }
+    }
+
+    // -- the continuation engine ----------------------------------------------
+
+    /// Applies `op`; on block, queues a continuation built by `on_block`.
+    /// On a completed write, retries queued continuations until quiescent.
+    /// Returns the primary result (if completed) and finished continuations.
+    fn apply_locked(
+        &self,
+        entry: &mut ObjectEntry,
+        op: OpCode,
+        args: &[u8],
+        on_block: impl FnOnce() -> ContReply,
+    ) -> (Option<Bytes>, Vec<(ContReply, Bytes)>) {
+        let state = entry
+            .state
+            .as_mut()
+            .expect("apply only runs where state lives");
+        match state.apply(op, args) {
+            OpResult::Done(result) => {
+                let outs = if state.is_read_only(op) {
+                    Vec::new()
+                } else {
+                    self.retry_continuations(entry)
+                };
+                (Some(result), outs)
+            }
+            OpResult::Blocked => {
+                self.stats.lock().continuations_queued += 1;
+                entry.conts.push(Continuation {
+                    op,
+                    args: Bytes::copy_from_slice(args),
+                    reply: on_block(),
+                });
+                (None, Vec::new())
+            }
+        }
+    }
+
+    /// Re-runs queued continuations until a pass completes none that writes.
+    fn retry_continuations(&self, entry: &mut ObjectEntry) -> Vec<(ContReply, Bytes)> {
+        let mut finished = Vec::new();
+        loop {
+            let mut wrote = false;
+            let pending = std::mem::take(&mut entry.conts);
+            let state = entry.state.as_mut().expect("state present");
+            for c in pending {
+                match state.apply(c.op, &c.args) {
+                    OpResult::Done(result) => {
+                        if !state.is_read_only(c.op) {
+                            wrote = true;
+                        }
+                        finished.push((c.reply, result));
+                    }
+                    OpResult::Blocked => entry.conts.push(c),
+                }
+            }
+            if !wrote || entry.conts.is_empty() {
+                break;
+            }
+        }
+        if !finished.is_empty() {
+            self.stats.lock().continuations_resumed += finished.len() as u64;
+        }
+        finished
+    }
+
+    /// Delivers continuation results. Remote replies transmit (and may
+    /// suspend the calling thread), so this must run outside object locks.
+    fn dispatch_outs(&self, ctx: &Ctx, outs: Vec<(ContReply, Bytes)>) {
+        for (reply, result) in outs {
+            match reply {
+                ContReply::Remote(ticket) => self.panda.reply(ctx, ticket, result),
+                ContReply::Local(slot) => {
+                    let _ = slot.send(ctx, result);
+                }
+                ContReply::GroupOrigin(inv) => self.fulfill_group(ctx, inv, result),
+                ContReply::Quiet => {}
+            }
+        }
+    }
+}
+
+enum Route {
+    Local,
+    Rpc(NodeId),
+    Broadcast,
+}

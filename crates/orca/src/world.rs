@@ -1,0 +1,70 @@
+//! World construction: one runtime per Panda node, shared object creation.
+
+use std::fmt;
+use std::sync::Arc;
+
+use panda::Panda;
+
+use crate::object::{ObjId, ObjectType, Placement};
+use crate::rts::OrcaRts;
+
+/// An Orca program's world: the runtime instances of all nodes.
+pub struct OrcaWorld {
+    rtses: Vec<Arc<OrcaRts>>,
+}
+
+impl fmt::Debug for OrcaWorld {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrcaWorld")
+            .field("nodes", &self.rtses.len())
+            .finish()
+    }
+}
+
+impl OrcaWorld {
+    /// Installs a runtime on every Panda node.
+    pub fn build(pandas: &[Arc<dyn Panda>]) -> OrcaWorld {
+        OrcaWorld {
+            rtses: pandas.iter().map(|p| OrcaRts::install(Arc::clone(p))).collect(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u32 {
+        self.rtses.len() as u32
+    }
+
+    /// The runtime of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn rts(&self, node: u32) -> Arc<OrcaRts> {
+        Arc::clone(&self.rtses[node as usize])
+    }
+
+    /// Creates a replicated object: every node gets a copy produced by
+    /// `factory` (which must initialize identically everywhere).
+    pub fn create_replicated(&self, id: ObjId, factory: impl Fn() -> Box<dyn ObjectType>) {
+        for rts in &self.rtses {
+            rts.register_object(id, Placement::Replicated, &factory);
+        }
+    }
+
+    /// Creates a single-copy object owned by `owner`; other nodes learn the
+    /// placement so their invocations are routed by RPC.
+    pub fn create_owned(
+        &self,
+        id: ObjId,
+        owner: u32,
+        factory: impl FnOnce() -> Box<dyn ObjectType>,
+    ) {
+        assert!((owner as usize) < self.rtses.len(), "owner out of range");
+        let mut factory = Some(factory);
+        for rts in &self.rtses {
+            rts.register_object(id, Placement::OwnedBy(owner), || {
+                (factory.take().expect("factory used once"))()
+            });
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Property-based tests of the replication invariant: every standard object
+//! type is deterministic, so two replicas applying the same operation
+//! sequence in the same order end in indistinguishable states.
+
+use orca::{
+    barrier_ops, buffer_ops, int_ops, queue_ops, Barrier, BoundedBuffer, JobQueue, ObjectType,
+    OpResult, SharedInt, WireWriter,
+};
+use proptest::prelude::*;
+
+/// An opaque scripted operation: `(op, i64 argument)`.
+type Script = Vec<(u16, i64)>;
+
+fn run_script(obj: &mut Box<dyn ObjectType>, script: &Script, encode_bytes: bool) -> Vec<OpResult> {
+    script
+        .iter()
+        .map(|(op, arg)| {
+            let mut w = WireWriter::new();
+            if encode_bytes {
+                w.put_bytes(&arg.to_be_bytes());
+            } else {
+                w.put_i64(*arg);
+            }
+            obj.apply(*op, &w.finish())
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn shared_int_replicas_agree(
+        init in any::<i32>(),
+        script in proptest::collection::vec(
+            (prop_oneof![Just(int_ops::ASSIGN), Just(int_ops::ADD),
+                         Just(int_ops::MIN_UPDATE), Just(int_ops::READ)],
+             any::<i32>().prop_map(i64::from)),
+            0..40,
+        ),
+    ) {
+        let mut a = SharedInt::new(i64::from(init));
+        let mut b = SharedInt::new(i64::from(init));
+        let ra = run_script(&mut a, &script, false);
+        let rb = run_script(&mut b, &script, false);
+        prop_assert_eq!(ra, rb, "identical op sequences give identical results");
+        prop_assert_eq!(a.apply(int_ops::READ, &[]), b.apply(int_ops::READ, &[]));
+    }
+
+    #[test]
+    fn bounded_buffer_replicas_agree(
+        cap in 1usize..5,
+        script in proptest::collection::vec(
+            (prop_oneof![Just(buffer_ops::PUT), Just(buffer_ops::GET)], any::<i64>()),
+            0..40,
+        ),
+    ) {
+        let mut a = BoundedBuffer::new(cap);
+        let mut b = BoundedBuffer::new(cap);
+        let ra = run_script(&mut a, &script, true);
+        let rb = run_script(&mut b, &script, true);
+        prop_assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn bounded_buffer_respects_capacity_and_fifo(
+        cap in 1usize..5,
+        items in proptest::collection::vec(any::<i64>(), 1..20),
+    ) {
+        let mut buf = BoundedBuffer::new(cap);
+        let mut expected_queue: Vec<i64> = Vec::new();
+        for item in &items {
+            let mut w = WireWriter::new();
+            w.put_bytes(&item.to_be_bytes());
+            match buf.apply(buffer_ops::PUT, &w.finish()) {
+                OpResult::Done(_) => {
+                    prop_assert!(expected_queue.len() < cap, "put succeeded only below capacity");
+                    expected_queue.push(*item);
+                }
+                OpResult::Blocked => {
+                    prop_assert_eq!(expected_queue.len(), cap, "put blocks exactly when full");
+                }
+            }
+        }
+        // Drain: items come out in FIFO order.
+        for expect in expected_queue {
+            match buf.apply(buffer_ops::GET, &[]) {
+                OpResult::Done(bytes) => {
+                    let mut r = orca::WireReader::new(&bytes);
+                    let raw = r.get_bytes().expect("item");
+                    prop_assert_eq!(i64::from_be_bytes(raw.try_into().expect("8")), expect);
+                }
+                OpResult::Blocked => prop_assert!(false, "buffer should not be empty"),
+            }
+        }
+        prop_assert_eq!(buf.apply(buffer_ops::GET, &[]), OpResult::Blocked);
+    }
+
+    #[test]
+    fn job_queue_never_loses_or_duplicates(
+        jobs in proptest::collection::vec(any::<u32>(), 0..30),
+    ) {
+        let mut q = JobQueue::new();
+        for j in &jobs {
+            let mut w = WireWriter::new();
+            w.put_bytes(&j.to_be_bytes());
+            q.apply(queue_ops::ADD, &w.finish());
+        }
+        q.apply(queue_ops::CLOSE, &[]);
+        let mut drained = Vec::new();
+        loop {
+            match q.apply(queue_ops::GET, &[]) {
+                OpResult::Done(b) => {
+                    let mut r = orca::WireReader::new(&b);
+                    if r.get_u8().expect("flag") == 0 {
+                        break;
+                    }
+                    let raw = r.get_bytes().expect("job");
+                    drained.push(u32::from_be_bytes(raw.try_into().expect("4")));
+                }
+                OpResult::Blocked => prop_assert!(false, "closed queue never blocks"),
+            }
+        }
+        prop_assert_eq!(drained, jobs, "FIFO, complete, exactly once");
+    }
+
+    #[test]
+    fn barrier_generation_advances_every_n_arrivals(
+        parties in 1u32..6,
+        arrivals in 1u32..40,
+    ) {
+        let mut b = Barrier::new(parties);
+        let mut last_gen = 0i64;
+        for i in 1..=arrivals {
+            match b.apply(barrier_ops::ARRIVE, &[]) {
+                OpResult::Done(bytes) => {
+                    let gen = orca::WireReader::new(&bytes).get_i64().expect("gen");
+                    prop_assert_eq!(gen, i64::from((i - 1) / parties), "generation counts rounds");
+                    prop_assert!(gen >= last_gen);
+                    last_gen = gen;
+                }
+                OpResult::Blocked => prop_assert!(false, "arrive never blocks"),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The wire codec round-trips arbitrary value sequences.
+    #[test]
+    fn wire_codec_roundtrips(
+        vals in proptest::collection::vec(
+            prop_oneof![
+                any::<u8>().prop_map(WireVal::U8),
+                any::<u32>().prop_map(WireVal::U32),
+                any::<i64>().prop_map(WireVal::I64),
+                any::<f64>().prop_map(WireVal::F64),
+                proptest::collection::vec(any::<u8>(), 0..64).prop_map(WireVal::Bytes),
+            ],
+            0..24,
+        ),
+    ) {
+        let mut w = WireWriter::new();
+        for v in &vals {
+            match v {
+                WireVal::U8(x) => { w.put_u8(*x); }
+                WireVal::U32(x) => { w.put_u32(*x); }
+                WireVal::I64(x) => { w.put_i64(*x); }
+                WireVal::F64(x) => { w.put_f64(*x); }
+                WireVal::Bytes(x) => { w.put_bytes(x); }
+            }
+        }
+        let buf = w.finish();
+        let mut r = orca::WireReader::new(&buf);
+        for v in &vals {
+            match v {
+                WireVal::U8(x) => prop_assert_eq!(r.get_u8().unwrap(), *x),
+                WireVal::U32(x) => prop_assert_eq!(r.get_u32().unwrap(), *x),
+                WireVal::I64(x) => prop_assert_eq!(r.get_i64().unwrap(), *x),
+                WireVal::F64(x) => prop_assert_eq!(r.get_f64().unwrap().to_bits(), x.to_bits()),
+                WireVal::Bytes(x) => prop_assert_eq!(r.get_bytes().unwrap(), &x[..]),
+            }
+        }
+        prop_assert!(r.is_empty());
+    }
+
+    /// Truncating an encoded buffer anywhere never panics the reader.
+    #[test]
+    fn wire_reader_never_panics_on_truncation(
+        cut in 0usize..64,
+        payload in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let mut w = WireWriter::new();
+        w.put_u32(7).put_bytes(&payload).put_i64(-1);
+        let buf = w.finish();
+        let cut = cut.min(buf.len());
+        let mut r = orca::WireReader::new(&buf[..cut]);
+        let _ = r.get_u32();
+        let _ = r.get_bytes();
+        let _ = r.get_i64();
+    }
+}
+
+#[derive(Debug, Clone)]
+enum WireVal {
+    U8(u8),
+    U32(u32),
+    I64(i64),
+    F64(f64),
+    Bytes(Vec<u8>),
+}

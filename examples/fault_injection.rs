@@ -1,0 +1,94 @@
+//! Fault injection: FLIP is unreliable by contract, so both protocol stacks
+//! carry their own recovery (request retransmission with duplicate
+//! suppression; sequencer history with gap repair). This example drops a
+//! configurable fraction of frames at receivers and shows that RPC stays
+//! exactly-once and group delivery stays gap-free and totally ordered.
+//!
+//! Run with `cargo run --release --example fault_injection [loss-percent]`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use orca_panda::prelude::*;
+
+fn run(kernel_space: bool, loss: f64) {
+    let label = if kernel_space { "kernel-space" } else { "user-space" };
+    let mut sim = Simulation::new(0xfa_17);
+    let mut net = Network::new(NetConfig::default());
+    let seg = net.add_segment(&mut sim, "seg0");
+    let machines: Vec<Machine> = (0..3)
+        .map(|i| {
+            Machine::boot(&mut sim, &mut net, seg, MacAddr(i), &format!("m{i}"), CostModel::default())
+        })
+        .collect();
+    net.faults().lock().rx_loss_prob = loss;
+    let nodes: Vec<Arc<dyn Panda>> = if kernel_space {
+        KernelSpacePanda::build(&mut sim, &machines, &PandaConfig::default())
+            .into_iter()
+            .map(|p| p as Arc<dyn Panda>)
+            .collect()
+    } else {
+        UserSpacePanda::build(&mut sim, &machines, &PandaConfig::default())
+            .into_iter()
+            .map(|p| p as Arc<dyn Panda>)
+            .collect()
+    };
+
+    // RPC server with an execution counter (exactly-once check).
+    let executions = Arc::new(AtomicU64::new(0));
+    let deliveries = Arc::new(AtomicU64::new(0));
+    let exec2 = Arc::clone(&executions);
+    let replier = Arc::clone(&nodes[1]);
+    nodes[1].set_rpc_handler(Arc::new(move |ctx, _f, req, t| {
+        exec2.fetch_add(1, Ordering::SeqCst);
+        replier.reply(ctx, t, req);
+    }));
+    for n in &nodes {
+        let deliveries = Arc::clone(&deliveries);
+        n.set_group_handler(Arc::new(move |_ctx, _d| {
+            deliveries.fetch_add(1, Ordering::SeqCst);
+        }));
+    }
+    nodes[0].set_rpc_handler(Arc::new(|_, _, _, _| {}));
+    nodes[2].set_rpc_handler(Arc::new(|_, _, _, _| {}));
+
+    let rpcs = 40u64;
+    let broadcasts = 30u64;
+    let client = Arc::clone(&nodes[0]);
+    sim.spawn(machines[0].proc(), "rpc-client", move |ctx| {
+        for i in 0..rpcs {
+            let body = Bytes::from(i.to_be_bytes().to_vec());
+            let reply = client.rpc(ctx, 1, body.clone()).expect("rpc recovers from loss");
+            assert_eq!(reply, body, "reply payload intact");
+        }
+    });
+    let caster = Arc::clone(&nodes[2]);
+    sim.spawn(machines[2].proc(), "broadcaster", move |ctx| {
+        for _ in 0..broadcasts {
+            caster.group_send(ctx, Bytes::from(vec![9u8; 600])).expect("broadcast recovers");
+        }
+    });
+    sim.run().expect("run");
+    let drops = net.total_stats().rx_drops;
+    println!(
+        "  {label:<13} {rpcs} RPCs executed exactly once ({}), {} ordered deliveries (expected {}), {} frames dropped",
+        executions.load(Ordering::SeqCst),
+        deliveries.load(Ordering::SeqCst),
+        broadcasts * 3,
+        drops
+    );
+    assert_eq!(executions.load(Ordering::SeqCst), rpcs);
+    assert_eq!(deliveries.load(Ordering::SeqCst), broadcasts * 3);
+}
+
+fn main() {
+    let loss: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6.0);
+    println!("Receiver-side frame loss {loss}% on every machine:\n");
+    run(true, loss / 100.0);
+    run(false, loss / 100.0);
+    println!("\nBoth stacks recover: at-most-once RPC + gap-free total order.");
+}
