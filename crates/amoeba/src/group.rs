@@ -20,6 +20,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use bytes::{BufMut, Bytes, BytesMut};
+use desim::trace::{Layer, Phase};
 use desim::{Ctx, RecvTimeoutError, SimChannel, SimDuration, SwitchCharge};
 use ethernet::McastAddr;
 use flip::{FlipAddr, FlipMessage};
@@ -391,9 +392,31 @@ impl GroupMember {
             }
             .encode_with(&payload)
         });
+        ctx.trace_emit(
+            Layer::Group,
+            Phase::Begin,
+            "grp_send",
+            &[
+                ("msg_id", msg_id),
+                ("bytes", payload.len() as u64),
+                ("bb", u64::from(big)),
+            ],
+        );
         // Enter the kernel: traps, copy, per-packet processing.
-        let wire_frags = fragments_of(req_wire.len())
-            + bb_wire.as_ref().map_or(0, |w| fragments_of(w.len()));
+        let wire_frags =
+            fragments_of(req_wire.len()) + bb_wire.as_ref().map_or(0, |w| fragments_of(w.len()));
+        ctx.trace_cost(
+            Layer::Group,
+            "syscall",
+            cost.syscall(cost.shallow_call_depth),
+        );
+        ctx.trace_cost(Layer::Group, "protocol_layer", cost.protocol_layer);
+        ctx.trace_cost(Layer::Group, "copy", cost.copy(payload.len()));
+        ctx.trace_cost(
+            Layer::Group,
+            "kernel_packet_send",
+            cost.kernel_packet_send * wire_frags,
+        );
         ctx.compute(
             cost.syscall(cost.shallow_call_depth)
                 + cost.protocol_layer
@@ -403,6 +426,16 @@ impl GroupMember {
         let mut result = Err(GroupError::Timeout);
         for attempt in 0..6 {
             if attempt > 0 {
+                ctx.trace_instant(
+                    Layer::Group,
+                    "retransmit",
+                    &[("msg_id", msg_id), ("attempt", attempt)],
+                );
+                ctx.trace_cost(
+                    Layer::Group,
+                    "kernel_packet_send",
+                    cost.kernel_packet_send * fragments_of(req_wire.len()),
+                );
                 ctx.compute(cost.kernel_packet_send * fragments_of(req_wire.len()));
             }
             if let Some(bb) = &bb_wire {
@@ -425,11 +458,22 @@ impl GroupMember {
         if result.is_ok() {
             // Return from the blocking grp_send: the kernel woke us directly
             // from the interrupt handler, so `Auto` charges no switch.
+            ctx.trace_cost(
+                Layer::Group,
+                "window_trap",
+                cost.window_trap * cost.shallow_call_depth,
+            );
             ctx.compute_charged(
                 cost.window_trap * cost.shallow_call_depth,
                 SwitchCharge::Auto,
             );
         }
+        ctx.trace_emit(
+            Layer::Group,
+            Phase::End,
+            "grp_send",
+            &[("msg_id", msg_id), ("seq", *result.as_ref().unwrap_or(&0))],
+        );
         result
     }
 
@@ -437,6 +481,7 @@ impl GroupMember {
     /// sequence). Blocks until one is available.
     pub fn recv(&self, ctx: &Ctx) -> GroupMessage {
         let cost = self.machine.cost().clone();
+        ctx.trace_cost(Layer::Group, "syscall", cost.syscall_enter);
         ctx.compute(cost.syscall_enter);
         let msg = loop {
             let gap = {
@@ -456,6 +501,8 @@ impl GroupMember {
                             piggyback: next - 1,
                         }
                         .encode_with(&[]);
+                        ctx.trace_instant(Layer::Group, "retrans_req_tx", &[("from_seq", next)]);
+                        ctx.trace_cost(Layer::Group, "kernel_packet_send", cost.kernel_packet_send);
                         ctx.compute(cost.kernel_packet_send);
                         self.send_unicast_raw(ctx, self.spec.sequencer_addr(), req);
                     }
@@ -465,6 +512,11 @@ impl GroupMember {
                 break self.inbox.recv(ctx).expect("inbox never closes");
             }
         };
+        ctx.trace_cost(
+            Layer::Group,
+            "window_trap",
+            cost.window_trap * cost.shallow_call_depth,
+        );
         ctx.compute(cost.window_trap * cost.shallow_call_depth);
         msg
     }
@@ -479,7 +531,11 @@ impl GroupMember {
 
     fn send_group_raw(&self, ctx: &Ctx, wire: Bytes) {
         let src = self.spec.member_addrs[self.my_id as usize];
-        if let Some(local) = self.machine.iface().send_group(ctx, src, self.spec.group, wire) {
+        if let Some(local) = self
+            .machine
+            .iface()
+            .send_group(ctx, src, self.spec.group, wire)
+        {
             self.machine.dispatch(ctx, local);
         }
     }
@@ -496,8 +552,23 @@ impl GroupMember {
             let mut outs = Vec::new();
             let mut deliveries = 0usize;
             let mut delivered_bytes = 0usize;
-            self.state_machine(ctx, &mut st, header, body, &mut outs, &mut deliveries, &mut delivered_bytes);
+            self.state_machine(
+                ctx,
+                &mut st,
+                header,
+                body,
+                &mut outs,
+                &mut deliveries,
+                &mut delivered_bytes,
+            );
             let cost = self.machine.cost();
+            ctx.trace_cost(Layer::Group, "protocol_layer", cost.protocol_layer);
+            ctx.trace_cost(
+                Layer::Group,
+                "user_deliver",
+                cost.user_deliver * deliveries as u64,
+            );
+            ctx.trace_cost(Layer::Group, "copy", cost.copy(delivered_bytes));
             let icost = cost.protocol_layer
                 + cost.user_deliver * deliveries as u64
                 + cost.copy(delivered_bytes);
@@ -507,11 +578,15 @@ impl GroupMember {
         for out in outs {
             match out {
                 WireOut::Unicast(dst, wire) => {
-                    ctx.interrupt_compute(self.machine.cost().kernel_packet_send * fragments_of(wire.len()));
+                    let c = self.machine.cost().kernel_packet_send * fragments_of(wire.len());
+                    ctx.trace_cost(Layer::Group, "kernel_packet_send", c);
+                    ctx.interrupt_compute(c);
                     self.send_unicast_raw(ctx, dst, wire);
                 }
                 WireOut::Multicast(wire) => {
-                    ctx.interrupt_compute(self.machine.cost().kernel_packet_send * fragments_of(wire.len()));
+                    let c = self.machine.cost().kernel_packet_send * fragments_of(wire.len());
+                    ctx.trace_cost(Layer::Group, "kernel_packet_send", c);
+                    ctx.interrupt_compute(c);
                     self.send_group_raw(ctx, wire);
                 }
             }
@@ -539,6 +614,11 @@ impl GroupMember {
                     *d = (*d).max(header.piggyback);
                 }
                 if let Some(&assigned) = seq.seen.get(&key) {
+                    ctx.trace_instant(
+                        Layer::Group,
+                        "dup_suppressed",
+                        &[("sender", u64::from(header.sender)), ("seq", assigned)],
+                    );
                     // Duplicate REQ: the sender missed its own message. For
                     // BB-sized entries the sender still holds the data, so a
                     // small accept suffices and avoids re-flooding the wire.
@@ -580,7 +660,7 @@ impl GroupMember {
                         }
                     },
                 };
-                self.assign_seq(st, header.sender, header.msg_id, payload, outs);
+                self.assign_seq(ctx, st, header.sender, header.msg_id, payload, outs);
                 self.try_deliver(ctx, st, deliveries, delivered_bytes, outs);
             }
             Kind::BbData => {
@@ -602,7 +682,9 @@ impl GroupMember {
                     .map(|(s, _)| *s);
                 if let Some(s) = slot {
                     st.member.accepts.remove(&s);
-                    st.member.ooo.insert(s, (header.sender, header.msg_id, body.clone()));
+                    st.member
+                        .ooo
+                        .insert(s, (header.sender, header.msg_id, body.clone()));
                 }
                 // The sequencer may have been waiting for this data.
                 if st.seq.is_some() {
@@ -612,7 +694,7 @@ impl GroupMember {
                         .and_then(|sq| sq.pending_bb.remove(&key))
                         .is_some();
                     if pending {
-                        self.assign_seq(st, header.sender, header.msg_id, body, outs);
+                        self.assign_seq(ctx, st, header.sender, header.msg_id, body, outs);
                     }
                 }
                 self.try_deliver(ctx, st, deliveries, delivered_bytes, outs);
@@ -640,6 +722,14 @@ impl GroupMember {
                 self.request_gap_fill(st, outs);
             }
             Kind::RetransReq => {
+                ctx.trace_instant(
+                    Layer::Group,
+                    "retrans_req_rx",
+                    &[
+                        ("sender", u64::from(header.sender)),
+                        ("from_seq", header.seqno),
+                    ],
+                );
                 let Some(seq) = st.seq.as_mut() else { return };
                 if (header.sender as usize) < seq.delivered.len() {
                     let d = &mut seq.delivered[header.sender as usize];
@@ -671,16 +761,15 @@ impl GroupMember {
                     *d = (*d).max(header.piggyback);
                 }
                 Self::trim_history(seq, self.spec.config.history_max);
-            }
-            // Handled above; a member never receives raw user traffic here.
+            } // Handled above; a member never receives raw user traffic here.
         }
-        let _ = ctx;
     }
 
     /// Sequencer: assign the next sequence number and emit the ordering
     /// multicast (data for PB, accept for BB).
     fn assign_seq(
         &self,
+        ctx: &Ctx,
         st: &mut GroupState,
         sender: u32,
         msg_id: u64,
@@ -692,6 +781,15 @@ impl GroupMember {
         let seq = st.seq.as_mut().expect("assign_seq runs on the sequencer");
         let s = seq.next_seq;
         seq.next_seq += 1;
+        ctx.trace_instant(
+            Layer::Group,
+            "seq_assign",
+            &[
+                ("seq", s),
+                ("sender", u64::from(sender)),
+                ("msg_id", msg_id),
+            ],
+        );
         seq.seen.insert((sender, msg_id), s);
         seq.history.insert(s, (sender, msg_id, payload.clone()));
         Self::trim_history(seq, cfg.history_max);
@@ -762,6 +860,15 @@ impl GroupMember {
             *dm = (*dm).max(msg_id);
             *deliveries += 1;
             *delivered_bytes += payload.len();
+            ctx.trace_instant(
+                Layer::Group,
+                "deliver",
+                &[
+                    ("seq", next),
+                    ("sender", u64::from(sender)),
+                    ("bytes", payload.len() as u64),
+                ],
+            );
             let _ = self.inbox.send(
                 ctx,
                 GroupMessage {
@@ -800,12 +907,7 @@ impl GroupMember {
     /// the sequencer once per gap position to fill it.
     fn request_gap_fill(&self, st: &mut GroupState, outs: &mut Vec<WireOut>) {
         let next = st.member.next_deliver;
-        let has_ahead = st
-            .member
-            .ooo
-            .keys()
-            .next()
-            .is_some_and(|&k| k > next)
+        let has_ahead = st.member.ooo.keys().next().is_some_and(|&k| k > next)
             || st.member.accepts.keys().next().is_some_and(|&k| k > next);
         if has_ahead && st.member.last_gap_request < next && !self.is_sequencer() {
             st.member.last_gap_request = next;

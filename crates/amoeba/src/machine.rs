@@ -7,6 +7,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use bytes::Bytes;
+use desim::trace::Layer;
 use desim::{Ctx, ProcId, SimChannel, Simulation};
 use ethernet::{MacAddr, McastAddr, Network, SegmentId};
 use flip::{FlipAddr, FlipIface, FlipMessage, FLIP_FRAGMENT_BYTES};
@@ -84,6 +85,8 @@ impl Machine {
         let cost = &self.inner.cost;
         while let Some(frame) = rx.recv(ctx) {
             // Interrupt entry plus kernel per-packet receive processing.
+            ctx.trace_cost(Layer::Flip, "interrupt", cost.interrupt_overhead);
+            ctx.trace_cost(Layer::Flip, "kernel_packet_recv", cost.kernel_packet_recv);
             ctx.interrupt_compute(cost.interrupt_overhead + cost.kernel_packet_recv);
             for msg in self.inner.iface.handle_frame(ctx, &frame) {
                 self.dispatch(ctx, msg);
@@ -109,10 +112,19 @@ impl Machine {
                 // Crossing into user space: wakeup bookkeeping plus copying
                 // the message out of kernel buffers.
                 let cost = &self.inner.cost;
+                ctx.trace_cost(Layer::Flip, "user_deliver", cost.user_deliver);
+                ctx.trace_cost(Layer::Flip, "copy", cost.copy(msg.payload.len()));
                 ctx.interrupt_compute(cost.user_deliver + cost.copy(msg.payload.len()));
                 let _ = channel.send(ctx, msg);
             }
-            None => *self.inner.dropped.lock() += 1,
+            None => {
+                *self.inner.dropped.lock() += 1;
+                ctx.trace_instant(
+                    Layer::Flip,
+                    "no_sink_drop",
+                    &[("bytes", msg.payload.len() as u64)],
+                );
+            }
         }
     }
 
@@ -152,7 +164,12 @@ impl Machine {
     }
 
     /// Joins FLIP group `group` delivering into an existing channel.
-    pub fn join_user_group_into(&self, group: FlipAddr, eth: McastAddr, ch: SimChannel<FlipMessage>) {
+    pub fn join_user_group_into(
+        &self,
+        group: FlipAddr,
+        eth: McastAddr,
+        ch: SimChannel<FlipMessage>,
+    ) {
         self.inner.iface.join_group(group, eth);
         self.inner.sinks.lock().insert(group, Sink::User(ch));
     }
@@ -169,6 +186,11 @@ impl Machine {
     /// dispatch table.
     pub fn kernel_send(&self, ctx: &Ctx, src: FlipAddr, dst: FlipAddr, payload: Bytes) {
         let frags = fragments_of(payload.len());
+        ctx.trace_cost(
+            Layer::Flip,
+            "kernel_packet_send",
+            self.inner.cost.kernel_packet_send * frags,
+        );
         ctx.interrupt_compute(self.inner.cost.kernel_packet_send * frags);
         if let Some(local) = self.inner.iface.send(ctx, src, dst, payload) {
             self.dispatch(ctx, local);
@@ -179,6 +201,11 @@ impl Machine {
     /// loop frames back) is dispatched through the local sink.
     pub fn kernel_send_group(&self, ctx: &Ctx, src: FlipAddr, group: FlipAddr, payload: Bytes) {
         let frags = fragments_of(payload.len());
+        ctx.trace_cost(
+            Layer::Flip,
+            "kernel_packet_send",
+            self.inner.cost.kernel_packet_send * frags,
+        );
         ctx.interrupt_compute(self.inner.cost.kernel_packet_send * frags);
         if let Some(local) = self.inner.iface.send_group(ctx, src, group, payload) {
             self.dispatch(ctx, local);
@@ -191,6 +218,7 @@ impl Machine {
     pub fn flip_send_syscall(&self, ctx: &Ctx, src: FlipAddr, dst: FlipAddr, payload: Bytes) {
         let cost = &self.inner.cost;
         let frags = fragments_of(payload.len());
+        self.trace_flip_syscall_costs(ctx, payload.len(), frags);
         ctx.compute(
             cost.syscall(cost.deep_call_depth)
                 + cost.flip_user_interface
@@ -214,6 +242,7 @@ impl Machine {
     ) {
         let cost = &self.inner.cost;
         let frags = fragments_of(payload.len());
+        self.trace_flip_syscall_costs(ctx, payload.len(), frags);
         ctx.compute(
             cost.syscall(cost.deep_call_depth)
                 + cost.flip_user_interface
@@ -223,6 +252,22 @@ impl Machine {
         if let Some(local) = self.inner.iface.send_group(ctx, src, group, payload) {
             self.dispatch(ctx, local);
         }
+    }
+
+    /// Emits per-component cost events for the FLIP send syscall path.
+    fn trace_flip_syscall_costs(&self, ctx: &Ctx, len: usize, frags: u64) {
+        if !ctx.tracing_enabled() {
+            return;
+        }
+        let cost = &self.inner.cost;
+        ctx.trace_cost(Layer::Flip, "syscall", cost.syscall(cost.deep_call_depth));
+        ctx.trace_cost(Layer::Flip, "flip_user_interface", cost.flip_user_interface);
+        ctx.trace_cost(Layer::Flip, "copy", cost.copy(len));
+        ctx.trace_cost(
+            Layer::Flip,
+            "kernel_packet_send",
+            cost.kernel_packet_send * frags,
+        );
     }
 
     /// The machine's CPU.

@@ -14,6 +14,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use bytes::{BufMut, Bytes, BytesMut};
+use desim::trace::{Layer, Phase};
 use desim::{Ctx, RecvTimeoutError, SimChannel, SimDuration, SwitchCharge, ThreadId};
 use ethernet::MacAddr;
 use flip::{FlipAddr, FlipMessage};
@@ -216,6 +217,7 @@ impl RpcServer {
         };
         match header.kind {
             Kind::Request => {
+                ctx.trace_instant(Layer::Rpc, "request_rx", &[("seq", header.seq)]);
                 let key = (header.client, header.seq);
                 let resend = {
                     let mut st = self.state.lock();
@@ -236,6 +238,8 @@ impl RpcServer {
                                 port: self.port,
                             }
                             .encode_with(&[]);
+                            ctx.trace_instant(Layer::Rpc, "dup_suppressed", &[("seq", header.seq)]);
+                            ctx.trace_instant(Layer::Rpc, "working_tx", &[("seq", header.seq)]);
                             self.machine.kernel_send(
                                 ctx,
                                 port_addr(self.port),
@@ -250,6 +254,8 @@ impl RpcServer {
                 match resend {
                     Some(reply) => {
                         // Lost reply: retransmit the cached one from the kernel.
+                        ctx.trace_instant(Layer::Rpc, "dup_suppressed", &[("seq", header.seq)]);
+                        ctx.trace_instant(Layer::Rpc, "reply_resend", &[("seq", header.seq)]);
                         let wire = Header {
                             kind: Kind::Reply,
                             seq: header.seq,
@@ -265,6 +271,9 @@ impl RpcServer {
                         // thread (one context switch at the server, as the
                         // paper counts for both implementations).
                         let cost = self.machine.cost();
+                        ctx.trace_cost(Layer::Rpc, "protocol_layer", cost.protocol_layer);
+                        ctx.trace_cost(Layer::Rpc, "user_deliver", cost.user_deliver);
+                        ctx.trace_cost(Layer::Rpc, "copy", cost.copy(body.len()));
                         ctx.interrupt_compute(
                             cost.protocol_layer + cost.user_deliver + cost.copy(body.len()),
                         );
@@ -290,12 +299,18 @@ impl RpcServer {
     /// Charged as a blocking system call on the calling thread.
     pub fn get_request(&self, ctx: &Ctx) -> (Bytes, ReplyToken) {
         let cost = self.machine.cost();
+        ctx.trace_cost(Layer::Rpc, "syscall", cost.syscall_enter);
         ctx.compute(cost.syscall_enter);
         let (body, mut token) = self
             .queue
             .recv(ctx)
             .expect("service queue lives as long as the server");
         // Returning from the blocking syscall: window traps on the way out.
+        ctx.trace_cost(
+            Layer::Rpc,
+            "window_trap",
+            cost.window_trap * cost.shallow_call_depth,
+        );
         ctx.compute(cost.window_trap * cost.shallow_call_depth);
         token.served_by = Some(ctx.thread_id());
         (body, token)
@@ -315,6 +330,19 @@ impl RpcServer {
         );
         let cost = self.machine.cost();
         let wire_len = reply.len() + AMOEBA_RPC_HEADER_BYTES;
+        ctx.trace_instant(
+            Layer::Rpc,
+            "reply_tx",
+            &[("seq", token.seq), ("bytes", reply.len() as u64)],
+        );
+        ctx.trace_cost(Layer::Rpc, "syscall", cost.syscall(cost.shallow_call_depth));
+        ctx.trace_cost(Layer::Rpc, "protocol_layer", cost.protocol_layer);
+        ctx.trace_cost(Layer::Rpc, "copy", cost.copy(reply.len()));
+        ctx.trace_cost(
+            Layer::Rpc,
+            "kernel_packet_send",
+            cost.kernel_packet_send * fragments_of(wire_len),
+        );
         ctx.compute(
             cost.syscall(cost.shallow_call_depth)
                 + cost.protocol_layer
@@ -335,10 +363,10 @@ impl RpcServer {
         .encode_with(&reply);
         // The packet-send cost was charged on the calling thread above; use
         // the iface directly to avoid double-charging in kernel_send.
-        if let Some(local) = self
-            .machine
-            .iface()
-            .send(ctx, port_addr(self.port), token.client, wire)
+        if let Some(local) =
+            self.machine
+                .iface()
+                .send(ctx, port_addr(self.port), token.client, wire)
         {
             self.machine.dispatch(ctx, local);
         }
@@ -417,9 +445,20 @@ impl RpcClient {
             return; // duplicate reply after completion; the ack already went out
         };
         if header.kind == Kind::Working {
+            ctx.trace_instant(Layer::Rpc, "working_rx", &[("seq", header.seq)]);
             let _ = slot.send(ctx, ClientEvent::Working);
             return;
         }
+        ctx.trace_instant(
+            Layer::Rpc,
+            "reply_rx",
+            &[("seq", header.seq), ("bytes", body.len() as u64)],
+        );
+        ctx.trace_cost(
+            Layer::Rpc,
+            "protocol_layer",
+            self.machine.cost().protocol_layer,
+        );
         ctx.interrupt_compute(self.machine.cost().protocol_layer);
         // Wake the blocked client directly from the interrupt handler — this
         // is the kernel-space fast path: no context switch is charged because
@@ -434,6 +473,7 @@ impl RpcClient {
             port: header.port,
         }
         .encode_with(&[]);
+        ctx.trace_instant(Layer::Rpc, "ack_tx", &[("seq", header.seq)]);
         self.machine
             .kernel_send(ctx, client_addr(self.machine.mac()), msg.src, ack);
     }
@@ -462,8 +502,22 @@ impl RpcClient {
             port,
         }
         .encode_with(&request);
+        ctx.trace_emit(
+            Layer::Rpc,
+            Phase::Begin,
+            "trans",
+            &[("seq", seq), ("bytes", request.len() as u64)],
+        );
         // Entering the kernel, protocol processing, copying the request,
         // per-packet processing.
+        ctx.trace_cost(Layer::Rpc, "syscall", cost.syscall(cost.shallow_call_depth));
+        ctx.trace_cost(Layer::Rpc, "protocol_layer", cost.protocol_layer);
+        ctx.trace_cost(Layer::Rpc, "copy", cost.copy(request.len()));
+        ctx.trace_cost(
+            Layer::Rpc,
+            "kernel_packet_send",
+            cost.kernel_packet_send * fragments_of(wire.len()),
+        );
         ctx.compute(
             cost.syscall(cost.shallow_call_depth)
                 + cost.protocol_layer
@@ -477,10 +531,23 @@ impl RpcClient {
             if !sent {
                 if attempt > 0 {
                     // Kernel retransmission of the request.
+                    ctx.trace_instant(
+                        Layer::Rpc,
+                        "retransmit",
+                        &[("seq", seq), ("attempt", u64::from(attempt))],
+                    );
+                    ctx.trace_cost(
+                        Layer::Rpc,
+                        "kernel_packet_send",
+                        cost.kernel_packet_send * fragments_of(wire.len()),
+                    );
                     ctx.compute(cost.kernel_packet_send * fragments_of(wire.len()));
                 }
+                ctx.trace_instant(Layer::Rpc, "request_tx", &[("seq", seq)]);
                 if let Some(local) =
-                    self.machine.iface().send(ctx, me, port_addr(port), wire.clone())
+                    self.machine
+                        .iface()
+                        .send(ctx, me, port_addr(port), wire.clone())
                 {
                     self.machine.dispatch(ctx, local);
                 }
@@ -511,11 +578,22 @@ impl RpcClient {
         if result.is_ok() {
             // Return from the blocking trans() syscall. The `Auto` charge
             // stays free when only interrupt work ran while we were blocked.
+            ctx.trace_cost(
+                Layer::Rpc,
+                "window_trap",
+                cost.window_trap * cost.shallow_call_depth,
+            );
             ctx.compute_charged(
                 cost.window_trap * cost.shallow_call_depth,
                 SwitchCharge::Auto,
             );
         }
+        ctx.trace_emit(
+            Layer::Rpc,
+            Phase::End,
+            "trans",
+            &[("seq", seq), ("ok", u64::from(result.is_ok()))],
+        );
         result
     }
 

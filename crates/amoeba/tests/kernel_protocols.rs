@@ -2,10 +2,10 @@
 //! at-most-once under loss, the same-thread reply restriction, totally
 //! ordered group communication, and the BB large-message method.
 
+use amoeba::{CostModel, GroupMember, GroupSpec, Machine, Port, RpcClient, RpcConfig, RpcServer};
 use bytes::Bytes;
 use desim::{ms, Simulation};
 use ethernet::{MacAddr, NetConfig, Network};
-use amoeba::{CostModel, GroupMember, GroupSpec, Machine, Port, RpcClient, RpcConfig, RpcServer};
 
 fn boot_cluster(sim: &mut Simulation, n: u32) -> (Network, Vec<Machine>) {
     let mut net = Network::new(NetConfig::default());
@@ -140,7 +140,9 @@ fn rpc_survives_lost_request_and_reply() {
         // Now drop two frames: request retransmit then reply both survive
         // eventually via further retries.
         net2.faults().lock().force_drop_next = 2;
-        let r = client.trans(ctx, port, payload(20)).expect("recovers again");
+        let r = client
+            .trans(ctx, port, payload(20))
+            .expect("recovers again");
         assert_eq!(r, payload(20));
     });
     sim.run_until_finished(&h).expect("run");
@@ -212,20 +214,16 @@ fn spawn_collectors(
     for (i, m) in members.iter().enumerate() {
         let m = m.clone();
         let log = log.clone();
-        sim.spawn(
-            m.machine().proc(),
-            &format!("collect{i}"),
-            move |ctx| {
-                for _ in 0..expect_each {
-                    let msg = m.recv(ctx);
-                    log.lock().expect("log")[i].push((
-                        msg.sender,
-                        msg.seq,
-                        msg.payload.first().copied().unwrap_or(0),
-                    ));
-                }
-            },
-        );
+        sim.spawn(m.machine().proc(), &format!("collect{i}"), move |ctx| {
+            for _ in 0..expect_each {
+                let msg = m.recv(ctx);
+                log.lock().expect("log")[i].push((
+                    msg.sender,
+                    msg.seq,
+                    msg.payload.first().copied().unwrap_or(0),
+                ));
+            }
+        });
     }
     log
 }

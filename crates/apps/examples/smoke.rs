@@ -2,7 +2,11 @@
 use apps::{ProtoImpl, RunConfig};
 
 fn main() {
-    for imp in [ProtoImpl::KernelSpace, ProtoImpl::UserSpace, ProtoImpl::UserSpaceDedicated] {
+    for imp in [
+        ProtoImpl::KernelSpace,
+        ProtoImpl::UserSpace,
+        ProtoImpl::UserSpaceDedicated,
+    ] {
         for nodes in [1u32, 3] {
             let cfg = RunConfig::new(nodes, imp, 1);
             println!("{}", apps::tsp::run(&cfg, &apps::tsp::TspParams::small()));

@@ -120,7 +120,9 @@ pub fn run(cfg: &RunConfig, params: &AbParams) -> AppReport {
     cluster
         .world
         .create_replicated(BEST_OBJ, || orca::SharedInt::new(SCORE_INF));
-    cluster.world.create_owned(QUEUE_OBJ, 0, orca::JobQueue::new);
+    cluster
+        .world
+        .create_owned(QUEUE_OBJ, 0, orca::JobQueue::new);
     let n_nodes = cluster.world.nodes();
     cluster
         .world
@@ -196,7 +198,13 @@ mod tests {
                 return leaf_value(p.instance_seed, sig);
             }
             (0..p.branching)
-                .map(|c| -minimax(p, sig.wrapping_mul(131).wrapping_add(u64::from(c) + 1), depth + 1))
+                .map(|c| {
+                    -minimax(
+                        p,
+                        sig.wrapping_mul(131).wrapping_add(u64::from(c) + 1),
+                        depth + 1,
+                    )
+                })
                 .max()
                 .expect("children")
         }
@@ -214,6 +222,9 @@ mod tests {
         let (_, visits) = solve_sequential(&p);
         let full = u64::from(p.root_branching)
             * ((u64::from(p.branching).pow(p.depth) - 1) / (u64::from(p.branching) - 1));
-        assert!(visits < full, "alpha-beta must visit fewer than {full} nodes, saw {visits}");
+        assert!(
+            visits < full,
+            "alpha-beta must visit fewer than {full} nodes, saw {visits}"
+        );
     }
 }

@@ -127,7 +127,9 @@ fn rows_of(node: u32, nodes: u32, n: usize) -> std::ops::Range<usize> {
 pub fn run(cfg: &RunConfig, params: &AspParams) -> AppReport {
     let graph = std::sync::Arc::new(generate_graph(params.instance_seed, params.vertices));
     let mut cluster = build_cluster(cfg);
-    cluster.world.create_replicated(BOARD_OBJ, orca::IterBoard::new);
+    cluster
+        .world
+        .create_replicated(BOARD_OBJ, orca::IterBoard::new);
     let params = params.clone();
     let (elapsed, results) = run_workers(&mut cluster, move |ctx, node, rts| {
         let board = BoardHandle::new(std::sync::Arc::clone(&rts), BOARD_OBJ);
@@ -137,7 +139,9 @@ pub fn run(cfg: &RunConfig, params: &AspParams) -> AppReport {
         let mut block: Vec<Vec<i32>> = my_rows.clone().map(|i| graph[i].clone()).collect();
         for k in 0..n {
             // The owner of pivot row k broadcasts it.
-            let owner = (0..nodes).find(|&m| rows_of(m, nodes, n).contains(&k)).expect("owner");
+            let owner = (0..nodes)
+                .find(|&m| rows_of(m, nodes, n).contains(&k))
+                .expect("owner");
             if owner == node {
                 let local_k = k - rows_of(node, nodes, n).start;
                 let mut buf = Vec::with_capacity(n * 4);
@@ -168,7 +172,10 @@ pub fn run(cfg: &RunConfig, params: &AspParams) -> AppReport {
                 }
                 relaxations += n as u64;
             }
-            ctx.compute_sliced(params.relax_cost * relaxations.max(1), crate::harness::CPU_QUANTUM);
+            ctx.compute_sliced(
+                params.relax_cost * relaxations.max(1),
+                crate::harness::CPU_QUANTUM,
+            );
         }
         // Fold the block into a partition-independent checksum.
         block.iter().fold(0i64, |acc, row| acc ^ row_hash(row))

@@ -7,9 +7,9 @@
 use std::fmt;
 use std::sync::Arc;
 
+use amoeba::{CostModel, Machine};
 use desim::{Ctx, SimDuration, Simulation};
 use ethernet::{MacAddr, NetConfig, Network};
-use amoeba::{CostModel, Machine};
 use orca::{OrcaRts, OrcaWorld, RtsStats};
 use panda::{KernelSpacePanda, Panda, PandaConfig, UserSpacePanda};
 
@@ -112,7 +112,9 @@ pub struct Cluster {
 
 impl fmt::Debug for Cluster {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Cluster").field("nodes", &self.world.nodes()).finish()
+        f.debug_struct("Cluster")
+            .field("nodes", &self.world.nodes())
+            .finish()
     }
 }
 
@@ -146,10 +148,12 @@ pub fn build_cluster(cfg: &RunConfig) -> Cluster {
         })
         .collect();
     let pandas: Vec<Arc<dyn Panda>> = match cfg.implementation {
-        ProtoImpl::KernelSpace => KernelSpacePanda::build(&mut sim, &machines, &PandaConfig::default())
-            .into_iter()
-            .map(|p| p as Arc<dyn Panda>)
-            .collect(),
+        ProtoImpl::KernelSpace => {
+            KernelSpacePanda::build(&mut sim, &machines, &PandaConfig::default())
+                .into_iter()
+                .map(|p| p as Arc<dyn Panda>)
+                .collect()
+        }
         ProtoImpl::UserSpace => UserSpacePanda::build(&mut sim, &machines, &PandaConfig::default())
             .into_iter()
             .map(|p| p as Arc<dyn Panda>)
@@ -181,17 +185,22 @@ where
     F: Fn(&Ctx, u32, Arc<OrcaRts>) -> i64 + Send + Sync + 'static,
 {
     let worker = Arc::new(worker);
-    let results = Arc::new(parking_lot::Mutex::new(vec![0i64; cluster.world.nodes() as usize]));
+    let results = Arc::new(parking_lot::Mutex::new(vec![
+        0i64;
+        cluster.world.nodes() as usize
+    ]));
     let start = cluster.sim.now();
     for node in 0..cluster.world.nodes() {
         let rts = cluster.world.rts(node);
         let worker = Arc::clone(&worker);
         let results = Arc::clone(&results);
         let proc = rts.panda().machine().proc();
-        cluster.sim.spawn(proc, &format!("orca-p{node}"), move |ctx| {
-            let r = worker(ctx, node, Arc::clone(&rts));
-            results.lock()[node as usize] = r;
-        });
+        cluster
+            .sim
+            .spawn(proc, &format!("orca-p{node}"), move |ctx| {
+                let r = worker(ctx, node, Arc::clone(&rts));
+                results.lock()[node as usize] = r;
+            });
     }
     cluster
         .sim

@@ -133,7 +133,9 @@ const BOARD_OBJ: ObjId = ObjId(1);
 /// Runs LEQ; checksum is the bit-exact solution hash.
 pub fn run(cfg: &RunConfig, params: &LeqParams) -> AppReport {
     let mut cluster = build_cluster(cfg);
-    cluster.world.create_replicated(BOARD_OBJ, orca::IterBoard::new);
+    cluster
+        .world
+        .create_replicated(BOARD_OBJ, orca::IterBoard::new);
     let params = params.clone();
     let (elapsed, results) = run_workers(&mut cluster, move |ctx, node, rts| {
         let board = BoardHandle::new(std::sync::Arc::clone(&rts), BOARD_OBJ);
@@ -144,7 +146,10 @@ pub fn run(cfg: &RunConfig, params: &LeqParams) -> AppReport {
         for iter in 0..params.iterations {
             // Compute my slice from the current full vector.
             let slice: Vec<f64> = my.clone().map(|i| sys.update(i, &x)).collect();
-            ctx.compute_sliced(params.mac_cost * (slice.len() as u64 * params.unknowns as u64), crate::harness::CPU_QUANTUM);
+            ctx.compute_sliced(
+                params.mac_cost * (slice.len() as u64 * params.unknowns as u64),
+                crate::harness::CPU_QUANTUM,
+            );
             // Broadcast it (one group message per node per iteration).
             let mut buf = Vec::with_capacity(slice.len() * 8);
             for &v in &slice {

@@ -91,12 +91,7 @@ fn initial_labels(img: &[Vec<bool>]) -> Labels {
 
 /// One Jacobi-style labelling sweep of `rows[lo..hi]` using `above`/`below`
 /// as the neighbouring boundary rows. Returns visited-cell count.
-fn sweep(
-    labels: &Labels,
-    out: &mut Labels,
-    above: Option<&[i64]>,
-    below: Option<&[i64]>,
-) -> u64 {
+fn sweep(labels: &Labels, out: &mut Labels, above: Option<&[i64]>, below: Option<&[i64]>) -> u64 {
     let h = labels.len();
     let w = labels[0].len();
     let mut visits = 0u64;
@@ -200,8 +195,12 @@ pub fn run(cfg: &RunConfig, params: &RlParams) -> AppReport {
     let mut cluster = build_cluster(cfg);
     let nodes = cluster.world.nodes();
     for i in 0..nodes.saturating_sub(1) {
-        cluster.world.create_owned(buf_down(i), i, || orca::BoundedBuffer::new(2));
-        cluster.world.create_owned(buf_up(i), i + 1, || orca::BoundedBuffer::new(2));
+        cluster
+            .world
+            .create_owned(buf_down(i), i, || orca::BoundedBuffer::new(2));
+        cluster
+            .world
+            .create_owned(buf_up(i), i + 1, || orca::BoundedBuffer::new(2));
     }
     let params = params.clone();
     let (elapsed, results) = run_workers(&mut cluster, move |ctx, node, rts| {

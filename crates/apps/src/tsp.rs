@@ -162,7 +162,15 @@ pub fn job_expansions(inst: &Instance, job: &[u8], bound: i64) -> u64 {
     }
     let mut best = bound;
     let mut expansions = 0u64;
-    dfs(inst, at, visited, len, &mut best, &mut expansions, &mut |_| {});
+    dfs(
+        inst,
+        at,
+        visited,
+        len,
+        &mut best,
+        &mut expansions,
+        &mut |_| {},
+    );
     expansions
 }
 
@@ -216,7 +224,14 @@ pub fn generate_jobs(n: usize, depth: usize) -> Vec<Vec<u8>> {
     jobs
 }
 
-fn gen_rec(n: usize, depth: usize, visited: u64, _at: usize, prefix: &mut Vec<u8>, out: &mut Vec<Vec<u8>>) {
+fn gen_rec(
+    n: usize,
+    depth: usize,
+    visited: u64,
+    _at: usize,
+    prefix: &mut Vec<u8>,
+    out: &mut Vec<Vec<u8>>,
+) {
     if prefix.len() == depth {
         out.push(prefix.clone());
         return;
@@ -244,7 +259,9 @@ pub fn run(cfg: &RunConfig, params: &TspParams) -> AppReport {
     cluster
         .world
         .create_replicated(BOUND_OBJ, move || orca::SharedInt::new(initial_bound));
-    cluster.world.create_owned(QUEUE_OBJ, 0, orca::JobQueue::new);
+    cluster
+        .world
+        .create_owned(QUEUE_OBJ, 0, orca::JobQueue::new);
     let n_nodes = cluster.world.nodes();
     cluster
         .world
@@ -306,7 +323,10 @@ fn worker_loop(
             let mut on_expand = |_e: u64| {
                 pending += 1;
                 if pending >= interval {
-                    ctx.compute_sliced(params.expansion_cost * pending, crate::harness::CPU_QUANTUM);
+                    ctx.compute_sliced(
+                        params.expansion_cost * pending,
+                        crate::harness::CPU_QUANTUM,
+                    );
                     pending = 0;
                 }
             };
@@ -360,7 +380,10 @@ mod tests {
         let inst = Instance::generate(1, 8);
         let nn = inst.nearest_neighbour_bound();
         let opt = solve_sequential(&inst);
-        assert!(opt <= nn, "optimum {opt} cannot exceed the greedy bound {nn}");
+        assert!(
+            opt <= nn,
+            "optimum {opt} cannot exceed the greedy bound {nn}"
+        );
         assert!(opt > 0);
     }
 

@@ -92,7 +92,10 @@ fn parallelism_speeds_up_the_coarse_grained_apps() {
     let speedup = t1.as_secs_f64() / t4.as_secs_f64();
     // At toy scale the promising-first job order prunes so aggressively that
     // one subtree dominates; full-scale speedups are measured in Table 3.
-    assert!(speedup > 1.5, "TSP on 4 nodes should still speed up, got {speedup:.2}");
+    assert!(
+        speedup > 1.5,
+        "TSP on 4 nodes should still speed up, got {speedup:.2}"
+    );
 }
 
 #[test]

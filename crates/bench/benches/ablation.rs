@@ -83,9 +83,13 @@ fn main() {
             "{:<26} {:>14} {:>10} {:>14} {:>10}",
             t.name,
             format!("{d_rpc:+.0}"),
-            t.paper_rpc_us.map(|v| format!("~{v:.0}")).unwrap_or_else(|| "-".into()),
+            t.paper_rpc_us
+                .map(|v| format!("~{v:.0}"))
+                .unwrap_or_else(|| "-".into()),
             format!("{d_grp:+.0}"),
-            t.paper_group_us.map(|v| format!("~{v:.0}")).unwrap_or_else(|| "-".into()),
+            t.paper_group_us
+                .map(|v| format!("~{v:.0}"))
+                .unwrap_or_else(|| "-".into()),
         );
     }
     println!(

@@ -14,7 +14,10 @@ use desim::SimDuration;
 fn main() {
     println!("Sensitivity of the null-RPC latency gap (user - kernel)\n");
     println!("context-switch cost sweep (paper's machine: 70 us):");
-    println!("{:>12} {:>12} {:>12} {:>12}", "switch us", "user ms", "kernel ms", "gap us");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "switch us", "user ms", "kernel ms", "gap us"
+    );
     for cs in [0u64, 35, 70, 140, 280] {
         let cost = CostModel {
             context_switch: SimDuration::from_micros(cs),
@@ -31,7 +34,10 @@ fn main() {
         );
     }
     println!("\nregister-window trap sweep (paper's SPARC: 6 us):");
-    println!("{:>12} {:>12} {:>12} {:>12}", "trap us", "user ms", "kernel ms", "gap us");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "trap us", "user ms", "kernel ms", "gap us"
+    );
     for trap in [0u64, 3, 6, 12, 24] {
         let cost = CostModel {
             window_trap: SimDuration::from_micros(trap),

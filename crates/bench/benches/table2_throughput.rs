@@ -9,10 +9,22 @@ fn main() {
     let t = bench::table2(&cost);
     let p = bench::PAPER_TABLE2;
     println!("                      sim    paper");
-    println!("  RPC   user-space  {:>6.0}  {:>6.0}", t.rpc_user_kbs, p.rpc_user_kbs);
-    println!("  RPC   kernel      {:>6.0}  {:>6.0}", t.rpc_kernel_kbs, p.rpc_kernel_kbs);
-    println!("  group user-space  {:>6.0}  {:>6.0}", t.group_user_kbs, p.group_user_kbs);
-    println!("  group kernel      {:>6.0}  {:>6.0}", t.group_kernel_kbs, p.group_kernel_kbs);
+    println!(
+        "  RPC   user-space  {:>6.0}  {:>6.0}",
+        t.rpc_user_kbs, p.rpc_user_kbs
+    );
+    println!(
+        "  RPC   kernel      {:>6.0}  {:>6.0}",
+        t.rpc_kernel_kbs, p.rpc_kernel_kbs
+    );
+    println!(
+        "  group user-space  {:>6.0}  {:>6.0}",
+        t.group_user_kbs, p.group_user_kbs
+    );
+    println!(
+        "  group kernel      {:>6.0}  {:>6.0}",
+        t.group_kernel_kbs, p.group_kernel_kbs
+    );
     println!();
     println!(
         "kernel RPC beats user RPC: {}",

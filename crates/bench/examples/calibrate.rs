@@ -6,8 +6,24 @@ fn main() {
     println!("{}", bench::format_table1(&rows));
     let t2 = bench::table2(&cost);
     println!("Table 2 (KB/s):        sim    paper");
-    println!("  RPC user         {:>7.0} {:>7.0}", t2.rpc_user_kbs, bench::PAPER_TABLE2.rpc_user_kbs);
-    println!("  RPC kernel       {:>7.0} {:>7.0}", t2.rpc_kernel_kbs, bench::PAPER_TABLE2.rpc_kernel_kbs);
-    println!("  group user       {:>7.0} {:>7.0}", t2.group_user_kbs, bench::PAPER_TABLE2.group_user_kbs);
-    println!("  group kernel     {:>7.0} {:>7.0}", t2.group_kernel_kbs, bench::PAPER_TABLE2.group_kernel_kbs);
+    println!(
+        "  RPC user         {:>7.0} {:>7.0}",
+        t2.rpc_user_kbs,
+        bench::PAPER_TABLE2.rpc_user_kbs
+    );
+    println!(
+        "  RPC kernel       {:>7.0} {:>7.0}",
+        t2.rpc_kernel_kbs,
+        bench::PAPER_TABLE2.rpc_kernel_kbs
+    );
+    println!(
+        "  group user       {:>7.0} {:>7.0}",
+        t2.group_user_kbs,
+        bench::PAPER_TABLE2.group_user_kbs
+    );
+    println!(
+        "  group kernel     {:>7.0} {:>7.0}",
+        t2.group_kernel_kbs,
+        bench::PAPER_TABLE2.group_kernel_kbs
+    );
 }

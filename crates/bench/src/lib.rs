@@ -7,14 +7,12 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use bytes::Bytes;
-use desim::{SimChannel, SimDuration, Simulation};
-use ethernet::{MacAddr, NetConfig, Network};
 use amoeba::{CostModel, Machine};
-use panda::{
-    KernelSpacePanda, Module, Panda, PandaConfig, PandaHeader, SysLayer,
-    UserSpacePanda,
-};
+use bytes::Bytes;
+use desim::trace::{Layer, Phase, TraceEvent};
+use desim::{SimChannel, SimDuration, SimTime, Simulation};
+use ethernet::{MacAddr, NetConfig, Network};
+use panda::{KernelSpacePanda, Module, Panda, PandaConfig, PandaHeader, SysLayer, UserSpacePanda};
 
 /// Message sizes of Table 1 (bytes).
 pub const TABLE1_SIZES: [usize; 5] = [0, 1024, 2048, 3072, 4096];
@@ -40,11 +38,51 @@ pub struct Table1Row {
 
 /// The paper's Table 1 (for side-by-side printing).
 pub const PAPER_TABLE1: [Table1Row; 5] = [
-    Table1Row { size: 0,    unicast_user_ms: 0.53, multicast_user_ms: 0.62, rpc_user_ms: 1.56, rpc_kernel_ms: 1.27, group_user_ms: 1.67, group_kernel_ms: 1.44 },
-    Table1Row { size: 1024, unicast_user_ms: 1.50, multicast_user_ms: 1.58, rpc_user_ms: 2.53, rpc_kernel_ms: 2.23, group_user_ms: 3.59, group_kernel_ms: 3.38 },
-    Table1Row { size: 2048, unicast_user_ms: 2.50, multicast_user_ms: 2.55, rpc_user_ms: 3.60, rpc_kernel_ms: 3.40, group_user_ms: 3.67, group_kernel_ms: 3.44 },
-    Table1Row { size: 3072, unicast_user_ms: 3.72, multicast_user_ms: 3.74, rpc_user_ms: 4.77, rpc_kernel_ms: 4.48, group_user_ms: 4.84, group_kernel_ms: 4.56 },
-    Table1Row { size: 4096, unicast_user_ms: 4.18, multicast_user_ms: 4.23, rpc_user_ms: 5.27, rpc_kernel_ms: 5.06, group_user_ms: 5.35, group_kernel_ms: 5.25 },
+    Table1Row {
+        size: 0,
+        unicast_user_ms: 0.53,
+        multicast_user_ms: 0.62,
+        rpc_user_ms: 1.56,
+        rpc_kernel_ms: 1.27,
+        group_user_ms: 1.67,
+        group_kernel_ms: 1.44,
+    },
+    Table1Row {
+        size: 1024,
+        unicast_user_ms: 1.50,
+        multicast_user_ms: 1.58,
+        rpc_user_ms: 2.53,
+        rpc_kernel_ms: 2.23,
+        group_user_ms: 3.59,
+        group_kernel_ms: 3.38,
+    },
+    Table1Row {
+        size: 2048,
+        unicast_user_ms: 2.50,
+        multicast_user_ms: 2.55,
+        rpc_user_ms: 3.60,
+        rpc_kernel_ms: 3.40,
+        group_user_ms: 3.67,
+        group_kernel_ms: 3.44,
+    },
+    Table1Row {
+        size: 3072,
+        unicast_user_ms: 3.72,
+        multicast_user_ms: 3.74,
+        rpc_user_ms: 4.77,
+        rpc_kernel_ms: 4.48,
+        group_user_ms: 4.84,
+        group_kernel_ms: 4.56,
+    },
+    Table1Row {
+        size: 4096,
+        unicast_user_ms: 4.18,
+        multicast_user_ms: 4.23,
+        rpc_user_ms: 5.27,
+        rpc_kernel_ms: 5.06,
+        group_user_ms: 5.35,
+        group_kernel_ms: 5.25,
+    },
 ];
 
 fn boot_pair(sim: &mut Simulation, cost: &CostModel) -> (Network, Vec<Machine>) {
@@ -55,7 +93,16 @@ fn boot_n(sim: &mut Simulation, n: u32, cost: &CostModel) -> (Network, Vec<Machi
     let mut net = Network::new(NetConfig::default());
     let seg = net.add_segment(sim, "s0");
     let machines = (0..n)
-        .map(|i| Machine::boot(sim, &mut net, seg, MacAddr(i), &format!("m{i}"), cost.clone()))
+        .map(|i| {
+            Machine::boot(
+                sim,
+                &mut net,
+                seg,
+                MacAddr(i),
+                &format!("m{i}"),
+                cost.clone(),
+            )
+        })
         .collect();
     (net, machines)
 }
@@ -180,7 +227,21 @@ fn build_pandas(
 /// Measures Panda RPC latency: requests of `size` bytes, empty replies,
 /// reply sent from within the upcall (Table 1, RPC columns).
 pub fn rpc_latency(size: usize, which: Which, cost: &CostModel) -> SimDuration {
+    rpc_latency_inner(size, which, cost, false)
+}
+
+/// [`rpc_latency`] with tracing enabled. Tracing is zero-cost in virtual
+/// time, so this must return a bit-identical duration — the property the
+/// zero-cost regression test asserts.
+pub fn rpc_latency_traced(size: usize, which: Which, cost: &CostModel) -> SimDuration {
+    rpc_latency_inner(size, which, cost, true)
+}
+
+fn rpc_latency_inner(size: usize, which: Which, cost: &CostModel, trace: bool) -> SimDuration {
     let mut sim = Simulation::new(43);
+    if trace {
+        sim.enable_tracing();
+    }
     let (_net, machines) = boot_pair(&mut sim, cost);
     let nodes = build_pandas(&mut sim, &machines, which, 0);
     let server = Arc::clone(&nodes[1]);
@@ -214,7 +275,19 @@ pub fn rpc_latency(size: usize, which: Which, cost: &CostModel) -> SimDuration {
 /// message back from the sequencer on the *other* machine (Table 1, group
 /// columns).
 pub fn group_latency(size: usize, which: Which, cost: &CostModel) -> SimDuration {
+    group_latency_inner(size, which, cost, false)
+}
+
+/// [`group_latency`] with tracing enabled (see [`rpc_latency_traced`]).
+pub fn group_latency_traced(size: usize, which: Which, cost: &CostModel) -> SimDuration {
+    group_latency_inner(size, which, cost, true)
+}
+
+fn group_latency_inner(size: usize, which: Which, cost: &CostModel, trace: bool) -> SimDuration {
     let mut sim = Simulation::new(44);
+    if trace {
+        sim.enable_tracing();
+    }
     let (_net, machines) = boot_pair(&mut sim, cost);
     // Sequencer on machine 1; sender on machine 0 (the paper's setup).
     let nodes = build_pandas(&mut sim, &machines, which, 1);
@@ -303,7 +376,8 @@ pub fn rpc_throughput(which: Which, cost: &CostModel) -> f64 {
         }
         out.store((ctx.now() - t0).as_nanos(), Ordering::SeqCst);
     });
-    sim.run_until_finished(&h).expect("throughput bench completes");
+    sim.run_until_finished(&h)
+        .expect("throughput bench completes");
     let secs = elapsed.load(Ordering::SeqCst) as f64 / 1e9;
     (iters as usize * size) as f64 / 1024.0 / secs
 }
@@ -363,8 +437,12 @@ pub fn table2(cost: &CostModel) -> Table2Row {
 /// Renders a Table 1 comparison (measured vs paper).
 pub fn format_table1(rows: &[Table1Row]) -> String {
     let mut s = String::new();
-    s.push_str("size     unicast      multicast    RPC user     RPC kernel   group user   group kernel\n");
-    s.push_str("         sim  paper   sim  paper   sim  paper   sim  paper   sim  paper   sim  paper\n");
+    s.push_str(
+        "size     unicast      multicast    RPC user     RPC kernel   group user   group kernel\n",
+    );
+    s.push_str(
+        "         sim  paper   sim  paper   sim  paper   sim  paper   sim  paper   sim  paper\n",
+    );
     for (row, paper) in rows.iter().zip(PAPER_TABLE1.iter()) {
         s.push_str(&format!(
             "{:>4}Kb  {:>5.2} {:>5.2}  {:>5.2} {:>5.2}  {:>5.2} {:>5.2}  {:>5.2} {:>5.2}  {:>5.2} {:>5.2}  {:>5.2} {:>5.2}\n",
@@ -377,6 +455,212 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
             row.group_kernel_ms, paper.group_kernel_ms,
         ));
     }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Trace capture and the Section 4 latency budget
+// ---------------------------------------------------------------------------
+
+/// A traced RPC run: the full event stream, the virtual-time latency of the
+/// last (post-warmup) call, and a chrome://tracing export of the whole run.
+#[derive(Debug)]
+pub struct RpcTraceRun {
+    /// Every trace event of the run, in emission order.
+    pub events: Vec<TraceEvent>,
+    /// Latency of the measured call (from its `trans`/`call` span).
+    pub latency: SimDuration,
+    /// chrome://tracing JSON for the whole run (load via `about:tracing`).
+    pub chrome_json: String,
+}
+
+/// Runs the Table 1 RPC workload with tracing enabled and returns the trace
+/// together with the latency of the last call. The workload is identical to
+/// [`rpc_latency`] (same seed, same machines), just fewer iterations: route
+/// warmup plus `iters` measured calls.
+pub fn rpc_trace(size: usize, which: Which, cost: &CostModel, iters: u64) -> RpcTraceRun {
+    let mut sim = Simulation::new(43);
+    sim.enable_tracing();
+    let (_net, machines) = boot_pair(&mut sim, cost);
+    let nodes = build_pandas(&mut sim, &machines, which, 0);
+    let server = Arc::clone(&nodes[1]);
+    let replier = Arc::clone(&nodes[1]);
+    server.set_rpc_handler(Arc::new(move |ctx, _from, _req, ticket| {
+        replier.reply(ctx, ticket, Bytes::new());
+    }));
+    for n in &nodes {
+        n.set_group_handler(Arc::new(|_, _| {}));
+    }
+    nodes[0].set_rpc_handler(Arc::new(|_, _, _, _| {}));
+    let client = Arc::clone(&nodes[0]);
+    let h = sim.spawn(machines[0].proc(), "client", move |ctx| {
+        let req = Bytes::from(vec![0u8; size]);
+        client.rpc(ctx, 1, req.clone()).expect("warmup");
+        for _ in 0..iters.max(1) {
+            client.rpc(ctx, 1, req.clone()).expect("rpc");
+        }
+    });
+    sim.run_until_finished(&h)
+        .expect("traced rpc run completes");
+    let chrome_json = sim.chrome_trace_json();
+    let events = sim.take_trace_events();
+    let span = rpc_span(&events).expect("traced run contains an RPC span");
+    RpcTraceRun {
+        latency: span.1.saturating_duration_since(span.0),
+        events,
+        chrome_json,
+    }
+}
+
+/// Runs the Table 1 group workload with tracing enabled and returns the
+/// trace together with the latency of the last send. The workload is
+/// identical to [`group_latency`] (same seed, sequencer on the *other*
+/// machine), just fewer iterations.
+pub fn group_trace(size: usize, which: Which, cost: &CostModel, iters: u64) -> RpcTraceRun {
+    let mut sim = Simulation::new(44);
+    sim.enable_tracing();
+    let (_net, machines) = boot_pair(&mut sim, cost);
+    let nodes = build_pandas(&mut sim, &machines, which, 1);
+    for n in &nodes {
+        n.set_group_handler(Arc::new(|_, _| {}));
+        n.set_rpc_handler(Arc::new(|_, _, _, _| {}));
+    }
+    let sender = Arc::clone(&nodes[0]);
+    let h = sim.spawn(machines[0].proc(), "sender", move |ctx| {
+        let msg = Bytes::from(vec![0u8; size]);
+        sender.group_send(ctx, msg.clone()).expect("warmup");
+        for _ in 0..iters.max(1) {
+            sender.group_send(ctx, msg.clone()).expect("send");
+        }
+    });
+    sim.run_until_finished(&h)
+        .expect("traced group run completes");
+    let chrome_json = sim.chrome_trace_json();
+    let events = sim.take_trace_events();
+    let span = group_span(&events).expect("traced run contains a group span");
+    RpcTraceRun {
+        latency: span.1.saturating_duration_since(span.0),
+        events,
+        chrome_json,
+    }
+}
+
+/// The `[Begin, End]` window of the **last** sender-side `grp_send` span.
+pub fn group_span(events: &[TraceEvent]) -> Option<(SimTime, SimTime)> {
+    let end = events
+        .iter()
+        .rev()
+        .find(|e| e.layer == Layer::Group && e.phase == Phase::End && e.name == "grp_send")?;
+    let begin = events.iter().rev().find(|e| {
+        e.layer == Layer::Group
+            && e.phase == Phase::Begin
+            && e.name == "grp_send"
+            && e.thread == end.thread
+            && e.time <= end.time
+    })?;
+    Some((begin.time, end.time))
+}
+
+/// The `[Begin, End]` window of the **last** client-side RPC span in
+/// `events` (`trans` for the kernel stack, `call` for the user stack).
+/// Returns `None` when no complete span is present.
+pub fn rpc_span(events: &[TraceEvent]) -> Option<(SimTime, SimTime)> {
+    let end = events
+        .iter()
+        .rev()
+        .find(|e| e.layer == Layer::Rpc && e.phase == Phase::End && is_rpc_span_name(e.name))?;
+    let begin = events.iter().rev().find(|e| {
+        e.layer == Layer::Rpc
+            && e.phase == Phase::Begin
+            && is_rpc_span_name(e.name)
+            && e.thread == end.thread
+            && e.time <= end.time
+    })?;
+    Some((begin.time, end.time))
+}
+
+fn is_rpc_span_name(name: &str) -> bool {
+    name == "trans" || name == "call"
+}
+
+/// One line of the derived latency budget: every nanosecond the simulation
+/// charged under `name` inside the accounting window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetLine {
+    /// Layer the cost was charged in.
+    pub layer: Layer,
+    /// Cost-model term (e.g. `syscall`, `kernel_packet_send`, `wire`).
+    pub name: &'static str,
+    /// Number of charges.
+    pub count: u64,
+    /// Total charged time.
+    pub total: SimDuration,
+}
+
+/// Derives a latency budget from a trace: sums every event carrying an
+/// `ns` argument (cost events, wire occupancy, context switches) whose
+/// timestamp falls inside `[from, to]`, grouped by `(layer, name)`.
+///
+/// Applied to the window of one null RPC this reproduces the paper's
+/// Section 4 microsecond accounting directly from the trace.
+pub fn derive_budget(events: &[TraceEvent], from: SimTime, to: SimTime) -> Vec<BudgetLine> {
+    let mut lines: Vec<BudgetLine> = Vec::new();
+    for e in events {
+        if e.time < from || e.time > to {
+            continue;
+        }
+        let Some(ns) = e.args.get("ns") else { continue };
+        match lines
+            .iter_mut()
+            .find(|l| l.layer == e.layer && l.name == e.name)
+        {
+            Some(line) => {
+                line.count += 1;
+                line.total += SimDuration::from_nanos(ns);
+            }
+            None => lines.push(BudgetLine {
+                layer: e.layer,
+                name: e.name,
+                count: 1,
+                total: SimDuration::from_nanos(ns),
+            }),
+        }
+    }
+    lines.sort_by(|a, b| b.total.cmp(&a.total).then(a.name.cmp(b.name)));
+    lines
+}
+
+/// Sum of all budget lines.
+pub fn budget_total(lines: &[BudgetLine]) -> SimDuration {
+    lines.iter().fold(SimDuration::ZERO, |acc, l| acc + l.total)
+}
+
+/// Renders the budget as an aligned table (µs, descending).
+pub fn format_budget(lines: &[BudgetLine], latency: SimDuration) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<8} {:<22} {:>6} {:>10}\n",
+        "layer", "term", "count", "us"
+    ));
+    for l in lines {
+        s.push_str(&format!(
+            "{:<8} {:<22} {:>6} {:>10.1}\n",
+            l.layer.to_string(),
+            l.name,
+            l.count,
+            l.total.as_micros_f64()
+        ));
+    }
+    let total = budget_total(lines);
+    s.push_str(&format!(
+        "{:<8} {:<22} {:>6} {:>10.1}  (measured span: {:.1} us, accounted {:.1}%)\n",
+        "",
+        "total",
+        "",
+        total.as_micros_f64(),
+        latency.as_micros_f64(),
+        100.0 * total.as_nanos() as f64 / latency.as_nanos().max(1) as f64,
+    ));
     s
 }
 
@@ -415,8 +699,16 @@ pub fn paper_table3(app: &str, imp: ProtoImpl, nodes: u32) -> Option<f64> {
     let (k, u, d): (&[f64; 4], &[f64; 4], Option<&[f64; 4]>) = match app {
         "tsp" => (&[790.0, 87.0, 44.0, 23.0], &[783.0, 92.0, 46.0, 24.0], None),
         "asp" => (&[213.0, 30.0, 17.0, 11.0], &[216.0, 31.0, 18.0, 11.0], None),
-        "ab" => (&[565.0, 106.0, 78.0, 60.0], &[567.0, 106.0, 78.0, 59.0], None),
-        "rl" => (&[759.0, 132.0, 115.0, 114.0], &[767.0, 133.0, 119.0, 108.0], None),
+        "ab" => (
+            &[565.0, 106.0, 78.0, 60.0],
+            &[567.0, 106.0, 78.0, 59.0],
+            None,
+        ),
+        "rl" => (
+            &[759.0, 132.0, 115.0, 114.0],
+            &[767.0, 133.0, 119.0, 108.0],
+            None,
+        ),
         "sor" => (&[118.0, 20.0, 14.0, 13.0], &[118.0, 19.0, 13.0, 11.0], None),
         "leq" => (
             &[521.0, 102.0, 91.0, 127.0],

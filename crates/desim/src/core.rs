@@ -11,6 +11,7 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
@@ -18,6 +19,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{ArgVec, Layer, Phase, TraceEvent, Tracer};
 use crate::Ctx;
 
 /// Identifies a simulated thread within one [`crate::Simulation`].
@@ -206,9 +208,39 @@ pub(crate) struct CoreState {
     pub rng: SmallRng,
     pub trace: Option<Vec<TraceEntry>>,
     pub trace_cap: usize,
+    /// Structured tracer; `Some` iff `Core::trace_on` is `true`.
+    pub tracer: Option<Tracer>,
 }
 
 impl CoreState {
+    /// Records a structured event on behalf of `thread`. Call sites must
+    /// already hold the state lock; emission touches nothing the scheduler
+    /// uses, so virtual time is unaffected.
+    pub(crate) fn trace_event(
+        &mut self,
+        thread: ThreadId,
+        layer: Layer,
+        phase: Phase,
+        name: &'static str,
+        args: &[(&'static str, u64)],
+    ) {
+        if self.tracer.is_none() {
+            return;
+        }
+        let time = self.now;
+        let proc = self.threads[thread.0].proc;
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.record(TraceEvent {
+                time,
+                proc,
+                thread,
+                layer,
+                phase,
+                name,
+                args: ArgVec::from_slice(args),
+            });
+        }
+    }
     pub(crate) fn schedule_wake(&mut self, at: SimTime, thread: ThreadId, wait_id: u64) {
         debug_assert!(at >= self.now, "cannot schedule a wake in the past");
         let seq = self.seq;
@@ -237,7 +269,9 @@ impl CoreState {
         rec.wait_id += 1;
         rec.state = ThreadState::Blocked;
         rec.blocked_on = label;
-        rec.wait_id
+        let wid = rec.wait_id;
+        self.trace_event(thread, Layer::Sched, Phase::Instant, "block", &[]);
+        wid
     }
 
     fn pop_event(&mut self) -> Option<Event> {
@@ -251,6 +285,9 @@ impl CoreState {
 
 pub(crate) struct Core {
     pub state: Mutex<CoreState>,
+    /// Mirrors `CoreState::tracer.is_some()`; lives outside the mutex so
+    /// disabled-tracing call sites pay one relaxed load and nothing else.
+    pub trace_on: AtomicBool,
 }
 
 impl Core {
@@ -267,15 +304,19 @@ impl Core {
                 rng: SmallRng::seed_from_u64(seed),
                 trace: None,
                 trace_cap: 100_000,
+                tracer: None,
             }),
+            trace_on: AtomicBool::new(false),
         })
     }
 
-    pub(crate) fn add_processor(
-        self: &Arc<Self>,
-        name: &str,
-        switch_cost: SimDuration,
-    ) -> ProcId {
+    /// True if structured tracing is enabled (one relaxed atomic load).
+    #[inline]
+    pub(crate) fn tracing_enabled(&self) -> bool {
+        self.trace_on.load(AtomicOrdering::Relaxed)
+    }
+
+    pub(crate) fn add_processor(self: &Arc<Self>, name: &str, switch_cost: SimDuration) -> ProcId {
         let mut st = self.state.lock();
         let id = ProcId(st.procs.len());
         st.procs.push(ProcRecord {
@@ -330,6 +371,7 @@ impl Core {
                 st.threads[tid.0].state = ThreadState::Finished;
                 return tid;
             }
+            st.trace_event(tid, Layer::Sched, Phase::Instant, "spawn", &[]);
             st.schedule_wake_now(tid, 0);
         }
 
@@ -391,7 +433,9 @@ impl Core {
             let rec = &mut st.threads[ev.thread.0];
             if rec.state == ThreadState::Blocked && rec.wait_id == ev.wait_id {
                 rec.state = ThreadState::Running;
-                Some((ev.thread, Arc::clone(&rec.conduit)))
+                let conduit = Arc::clone(&rec.conduit);
+                st.trace_event(ev.thread, Layer::Sched, Phase::Instant, "wake", &[]);
+                Some((ev.thread, conduit))
             } else {
                 None // stale wake; the thread moved on or already finished
             }

@@ -9,6 +9,7 @@ use crate::core::{
     shutdown_unwind_unless_panicking, Core, ProcId, ThreadId, TraceEntry, WakeStatus,
 };
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{Layer, Phase};
 use crate::ThreadHandle;
 
 /// How a [`Ctx::compute_charged`] call accounts for the context switch that
@@ -177,6 +178,16 @@ impl Ctx {
                 SwitchCharge::Free => SimDuration::ZERO,
             }
         };
+        if !cs.is_zero() && self.core.tracing_enabled() {
+            let mut st = self.core.state.lock();
+            st.trace_event(
+                me,
+                Layer::Sched,
+                Phase::Instant,
+                "switch",
+                &[("ns", cs.as_nanos())],
+            );
+        }
         // Occupy the CPU, extended by interrupt-level theft.
         let start = self.now();
         let mut remaining = d + cs;
@@ -220,7 +231,11 @@ impl Ctx {
             if remaining.is_zero() {
                 break;
             }
-            let slice = if remaining > quantum { quantum } else { remaining };
+            let slice = if remaining > quantum {
+                quantum
+            } else {
+                remaining
+            };
             self.compute(slice);
             remaining = remaining.saturating_sub(slice);
         }
@@ -297,6 +312,63 @@ impl Ctx {
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
     pub fn rand_bool(&self, p: f64) -> bool {
         self.rand_f64() < p
+    }
+
+    /// True if structured tracing is enabled. One relaxed atomic load; use
+    /// to skip argument construction for hot-path events.
+    #[inline]
+    pub fn tracing_enabled(&self) -> bool {
+        self.core.tracing_enabled()
+    }
+
+    /// Emits a structured trace event (see [`crate::Simulation::enable_tracing`]).
+    ///
+    /// Emission never sleeps, computes, or draws randomness, so enabling or
+    /// disabling tracing cannot change virtual time.
+    #[inline]
+    pub fn trace_emit(
+        &self,
+        layer: Layer,
+        phase: Phase,
+        name: &'static str,
+        args: &[(&'static str, u64)],
+    ) {
+        if !self.core.tracing_enabled() {
+            return;
+        }
+        self.core
+            .state
+            .lock()
+            .trace_event(self.tid, layer, phase, name, args);
+    }
+
+    /// Emits an instant event.
+    #[inline]
+    pub fn trace_instant(&self, layer: Layer, name: &'static str, args: &[(&'static str, u64)]) {
+        self.trace_emit(layer, Phase::Instant, name, args);
+    }
+
+    /// Opens a span; pair with [`Ctx::trace_end`] using the same name.
+    #[inline]
+    pub fn trace_begin(&self, layer: Layer, name: &'static str, args: &[(&'static str, u64)]) {
+        self.trace_emit(layer, Phase::Begin, name, args);
+    }
+
+    /// Closes a span opened by [`Ctx::trace_begin`].
+    #[inline]
+    pub fn trace_end(&self, layer: Layer, name: &'static str, args: &[(&'static str, u64)]) {
+        self.trace_emit(layer, Phase::End, name, args);
+    }
+
+    /// Emits a cost-accounting event: `d` of virtual time attributed to the
+    /// cost-model category `category`. The latency-budget report aggregates
+    /// these per category.
+    #[inline]
+    pub fn trace_cost(&self, layer: Layer, category: &'static str, d: SimDuration) {
+        if d.is_zero() {
+            return;
+        }
+        self.trace_emit(layer, Phase::Instant, category, &[("ns", d.as_nanos())]);
     }
 
     /// Records a trace message if tracing is enabled

@@ -49,6 +49,7 @@ mod ctx;
 mod sim;
 mod sync;
 mod time;
+pub mod trace;
 
 pub use channel::{RecvTimeoutError, SendError, SimChannel};
 pub use core::{ProcId, ThreadId};
@@ -56,3 +57,4 @@ pub use ctx::{Ctx, SwitchCharge};
 pub use sim::{ProcReport, SimError, SimReport, Simulation, ThreadHandle};
 pub use sync::{SimCondvar, SimMutex, SimMutexGuard};
 pub use time::{ms, secs, us, SimDuration, SimTime};
+pub use trace::{CounterSnapshot, Layer, Phase, TraceEvent};

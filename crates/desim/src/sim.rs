@@ -6,6 +6,7 @@ use std::sync::Arc;
 use crate::core::{install_quiet_shutdown_hook, Core, ProcId, ThreadId, ThreadState, WakeStatus};
 use crate::ctx::Ctx;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{CounterSnapshot, TraceEvent, Tracer};
 
 /// Errors reported by [`Simulation::run`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,7 +82,9 @@ pub struct ThreadHandle {
 
 impl fmt::Debug for ThreadHandle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ThreadHandle").field("thread", &self.tid).finish()
+        f.debug_struct("ThreadHandle")
+            .field("thread", &self.tid)
+            .finish()
     }
 }
 
@@ -292,6 +295,91 @@ impl Simulation {
                 })
                 .collect(),
         }
+    }
+
+    /// Starts structured tracing with the default ring-buffer capacity
+    /// (1 Mi events). See [`crate::trace`].
+    pub fn enable_tracing(&mut self) {
+        self.enable_tracing_with_capacity(1 << 20);
+    }
+
+    /// Starts structured tracing, keeping at most `cap` most-recent events.
+    pub fn enable_tracing_with_capacity(&mut self, cap: usize) {
+        let mut st = self.core.state.lock();
+        st.tracer = Some(Tracer::new(cap));
+        self.core
+            .trace_on
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Stops structured tracing and discards buffered events and counters.
+    pub fn disable_tracing(&mut self) {
+        self.core
+            .trace_on
+            .store(false, std::sync::atomic::Ordering::Relaxed);
+        self.core.state.lock().tracer = None;
+    }
+
+    /// Drains and returns buffered structured events (oldest first).
+    /// Counters are unaffected; tracing stays enabled.
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        match self.core.state.lock().tracer.as_mut() {
+            Some(tr) => tr.drain(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns a copy of buffered structured events without draining.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        match self.core.state.lock().tracer.as_ref() {
+            Some(tr) => tr.snapshot(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns aggregate per-`(processor, layer, name)` counters, sorted.
+    pub fn trace_counters(&self) -> Vec<CounterSnapshot> {
+        match self.core.state.lock().tracer.as_ref() {
+            Some(tr) => tr.counters(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of events evicted from the ring buffer so far.
+    pub fn trace_dropped(&self) -> u64 {
+        match self.core.state.lock().tracer.as_ref() {
+            Some(tr) => tr.dropped(),
+            None => 0,
+        }
+    }
+
+    /// Serializes currently buffered events as chrome://tracing JSON
+    /// (load via `chrome://tracing` or <https://ui.perfetto.dev>).
+    pub fn chrome_trace_json(&self) -> String {
+        let events = self.trace_events();
+        crate::trace::chrome_trace_json(&events, &self.proc_names(), &self.thread_names())
+    }
+
+    /// Names of all processors, indexed by [`ProcId`].
+    pub fn proc_names(&self) -> Vec<String> {
+        self.core
+            .state
+            .lock()
+            .procs
+            .iter()
+            .map(|p| p.name.clone())
+            .collect()
+    }
+
+    /// Names of all threads, indexed by [`ThreadId`].
+    pub fn thread_names(&self) -> Vec<String> {
+        self.core
+            .state
+            .lock()
+            .threads
+            .iter()
+            .map(|t| t.name.clone())
+            .collect()
     }
 
     /// Starts collecting trace messages emitted via [`Ctx::trace`].

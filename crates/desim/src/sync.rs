@@ -64,7 +64,9 @@ impl<T> Clone for SimMutex<T> {
 impl<T: fmt::Debug> fmt::Debug for SimMutex<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let st = self.inner.state.lock();
-        f.debug_struct("SimMutex").field("locked", &st.locked).finish()
+        f.debug_struct("SimMutex")
+            .field("locked", &st.locked)
+            .finish()
     }
 }
 

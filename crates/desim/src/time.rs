@@ -272,14 +272,20 @@ mod tests {
     fn arithmetic_roundtrip() {
         let t = SimTime::ZERO + us(100) + ms(2);
         assert_eq!(t.as_nanos(), 2_100_000);
-        assert_eq!(t - SimTime::from_nanos(100_000), SimDuration::from_millis(2));
+        assert_eq!(
+            t - SimTime::from_nanos(100_000),
+            SimDuration::from_millis(2)
+        );
     }
 
     #[test]
     fn duration_scaling() {
         assert_eq!(us(10) * 3, us(30));
         assert_eq!(ms(1) / 4, us(250));
-        assert_eq!(vec![us(1), us(2), us(3)].into_iter().sum::<SimDuration>(), us(6));
+        assert_eq!(
+            vec![us(1), us(2), us(3)].into_iter().sum::<SimDuration>(),
+            us(6)
+        );
     }
 
     #[test]
@@ -302,7 +308,10 @@ mod tests {
 
     #[test]
     fn fractional_constructors() {
-        assert_eq!(SimDuration::from_micros_f64(0.8), SimDuration::from_nanos(800));
+        assert_eq!(
+            SimDuration::from_micros_f64(0.8),
+            SimDuration::from_nanos(800)
+        );
         assert_eq!(SimDuration::from_secs_f64(0.5), ms(500));
     }
 

@@ -1,6 +1,8 @@
 //! Integration tests for the desim scheduler, CPU model, and determinism.
 
-use desim::{ms, us, SimChannel, SimDuration, SimError, SimMutex, SimTime, Simulation, SwitchCharge};
+use desim::{
+    ms, us, SimChannel, SimDuration, SimError, SimMutex, SimTime, Simulation, SwitchCharge,
+};
 
 #[test]
 fn empty_simulation_runs() {
@@ -81,7 +83,11 @@ fn context_switch_charged_between_threads_not_within() {
     let hb = sim.spawn(cpu, "b", |ctx| {
         let t0 = ctx.now();
         ctx.compute(us(10));
-        assert_eq!((ctx.now() - t0).as_micros_f64(), 80.0, "70us switch + 10us work");
+        assert_eq!(
+            (ctx.now() - t0).as_micros_f64(),
+            80.0,
+            "70us switch + 10us work"
+        );
     });
     sim.run_until_finished(&hb).expect("b");
     assert_eq!(sim.report().procs[0].switches, 1);
@@ -97,7 +103,11 @@ fn switch_charge_policies() {
         assert_eq!(ctx.now().as_micros_f64(), 130.0);
     });
     sim.run_until_finished(&h).expect("run");
-    assert_eq!(sim.report().procs[0].switches, 1, "only the Fixed charge counts");
+    assert_eq!(
+        sim.report().procs[0].switches,
+        1,
+        "only the Fixed charge counts"
+    );
 }
 
 #[test]
@@ -249,7 +259,11 @@ fn determinism_same_seed_same_schedule() {
         out
     }
     assert_eq!(run_once(1234), run_once(1234));
-    assert_ne!(run_once(1234), run_once(9999), "different seeds should differ");
+    assert_ne!(
+        run_once(1234),
+        run_once(9999),
+        "different seeds should differ"
+    );
 }
 
 #[test]
@@ -295,7 +309,11 @@ fn compute_sliced_total_time_is_preserved() {
     let cpu = sim.add_processor("m0");
     let h = sim.spawn(cpu, "only", |ctx| {
         ctx.compute_sliced(ms(37), ms(5));
-        assert_eq!(ctx.now().as_millis_f64(), 37.0, "alone on the CPU: exact total");
+        assert_eq!(
+            ctx.now().as_millis_f64(),
+            37.0,
+            "alone on the CPU: exact total"
+        );
     });
     sim.run_until_finished(&h).expect("run");
 }

@@ -12,6 +12,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use bytes::Bytes;
+use desim::trace::{Layer, Phase};
 use desim::{Ctx, SimChannel, SimDuration, Simulation};
 use parking_lot::Mutex;
 
@@ -285,7 +286,17 @@ impl Network {
         let tx = self.inner.lock().segments[id.0].tx.clone();
         while let Some(frame) = tx.recv(ctx) {
             let wire = self.wire_time(&frame);
+            ctx.trace_emit(
+                Layer::Net,
+                Phase::Begin,
+                "wire",
+                &[
+                    ("bytes", frame.wire_bytes() as u64),
+                    ("src", u64::from(frame.src.0)),
+                ],
+            );
             ctx.sleep(wire); // the medium is busy; later frames queue behind
+            ctx.trace_emit(Layer::Net, Phase::End, "wire", &[("ns", wire.as_nanos())]);
             let dropped = {
                 let mut faults = self.faults.lock();
                 if faults.force_drop_next > 0 {
@@ -309,8 +320,21 @@ impl Network {
                 }
             }
             if dropped {
+                ctx.trace_instant(
+                    Layer::Net,
+                    "wire_drop",
+                    &[("bytes", frame.wire_bytes() as u64)],
+                );
                 continue;
             }
+            ctx.trace_instant(
+                Layer::Net,
+                "frame",
+                &[
+                    ("bytes", frame.wire_bytes() as u64),
+                    ("src", u64::from(frame.src.0)),
+                ],
+            );
             let targets: Vec<SimChannel<Frame>> = {
                 let inner = self.inner.lock();
                 inner.segments[id.0]
@@ -332,8 +356,10 @@ impl Network {
             for target in targets {
                 if rx_loss > 0.0 && ctx.rand_bool(rx_loss) {
                     self.inner.lock().segments[id.0].stats.rx_drops += 1;
+                    ctx.trace_instant(Layer::Net, "rx_drop", &[("src", u64::from(frame.src.0))]);
                     continue;
                 }
+                ctx.trace_instant(Layer::Net, "rx", &[("src", u64::from(frame.src.0))]);
                 let _ = target.send(ctx, frame.clone());
             }
         }
@@ -358,6 +384,7 @@ impl Network {
                     let dst_home = self.inner.lock().home_of(mac);
                     match dst_home {
                         Some(seg) if seg != my_segment => {
+                            ctx.trace_cost(Layer::Net, "switch_hop", self.cfg.switch_latency);
                             ctx.sleep(self.cfg.switch_latency);
                             let tx = self.inner.lock().segments[seg.0].tx.clone();
                             let _ = tx.send(ctx, frame);
@@ -366,6 +393,7 @@ impl Network {
                     }
                 }
                 Dest::Multicast(_) | Dest::Broadcast => {
+                    ctx.trace_cost(Layer::Net, "switch_hop", self.cfg.switch_latency);
                     ctx.sleep(self.cfg.switch_latency);
                     let txs: Vec<_> = {
                         let inner = self.inner.lock();
@@ -424,6 +452,14 @@ impl Nic {
     /// Panics if the payload exceeds the MTU (see [`Frame::new`]).
     pub fn send(&self, ctx: &Ctx, dst: Dest, payload: Bytes) {
         let frame = Frame::new(self.mac, dst, payload);
+        ctx.trace_instant(
+            Layer::Net,
+            "tx",
+            &[
+                ("bytes", frame.wire_bytes() as u64),
+                ("src", u64::from(self.mac.0)),
+            ],
+        );
         let _ = self.tx.send(ctx, frame);
     }
 

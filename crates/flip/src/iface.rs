@@ -12,6 +12,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use bytes::{Bytes, BytesMut};
+use desim::trace::{Layer, Phase};
 use desim::{Ctx, SimDuration, SimTime};
 use ethernet::{Dest, Frame, MacAddr, McastAddr, Nic};
 use parking_lot::Mutex;
@@ -195,12 +196,21 @@ impl FlipIface {
         dst: FlipAddr,
         payload: Bytes,
     ) -> Option<FlipMessage> {
-        assert!(payload.len() <= MAX_MESSAGE_BYTES, "message too large for FLIP");
+        assert!(
+            payload.len() <= MAX_MESSAGE_BYTES,
+            "message too large for FLIP"
+        );
         let route = {
             let mut st = self.state.lock();
             if st.local.contains(&dst) {
                 st.stats.msgs_sent += 1;
                 st.stats.msgs_delivered += 1;
+                drop(st);
+                ctx.trace_instant(
+                    Layer::Flip,
+                    "local_deliver",
+                    &[("bytes", payload.len() as u64)],
+                );
                 return Some(FlipMessage {
                     src,
                     dst,
@@ -239,10 +249,15 @@ impl FlipIface {
         group: FlipAddr,
         payload: Bytes,
     ) -> Option<FlipMessage> {
-        assert!(payload.len() <= MAX_MESSAGE_BYTES, "message too large for FLIP");
+        assert!(
+            payload.len() <= MAX_MESSAGE_BYTES,
+            "message too large for FLIP"
+        );
         let eth = {
             let st = self.state.lock();
-            *st.groups.get(&group).expect("send_group requires membership")
+            *st.groups
+                .get(&group)
+                .expect("send_group requires membership")
         };
         self.transmit_fragments(ctx, src, group, payload.clone(), Dest::Multicast(eth), true);
         Some(FlipMessage {
@@ -337,6 +352,7 @@ impl FlipIface {
             let mut st = self.state.lock();
             st.stats.misdelivered += 1;
             drop(st);
+            ctx.trace_instant(Layer::Flip, "misdelivered", &[("bytes", data.len() as u64)]);
             if !header.multicast {
                 // Stale route at the sender: tell it to re-locate.
                 let nack = PacketHeader {
@@ -397,6 +413,12 @@ impl FlipIface {
         if entry.received >= entry.total_len {
             let done = st.reassembly.remove(&key).expect("entry present");
             st.stats.msgs_delivered += 1;
+            drop(st);
+            ctx.trace_instant(
+                Layer::Flip,
+                "reassembled",
+                &[("bytes", done.total_len as u64), ("msg_id", key.1)],
+            );
             vec![FlipMessage {
                 src: header.src,
                 dst: header.dst,
@@ -417,8 +439,9 @@ impl FlipIface {
                 .pending
                 .iter()
                 .filter(|(_, q)| {
-                    q.front()
-                        .is_some_and(|p| now.saturating_duration_since(p.queued_at) > PENDING_TIMEOUT)
+                    q.front().is_some_and(|p| {
+                        now.saturating_duration_since(p.queued_at) > PENDING_TIMEOUT
+                    })
                 })
                 .map(|(a, _)| *a)
                 .collect();
@@ -443,6 +466,7 @@ impl FlipIface {
             due
         };
         if send_locate {
+            ctx.trace_instant(Layer::Flip, "locate", &[]);
             let query = PacketHeader {
                 dst,
                 src: self.iface_addr,
@@ -473,6 +497,12 @@ impl FlipIface {
             id
         };
         let total_len = payload.len() as u32;
+        ctx.trace_emit(
+            Layer::Flip,
+            Phase::Instant,
+            "msg_send",
+            &[("bytes", u64::from(total_len)), ("msg_id", msg_id)],
+        );
         let mut offset = 0usize;
         loop {
             let end = (offset + FLIP_FRAGMENT_BYTES).min(payload.len());
@@ -486,6 +516,11 @@ impl FlipIface {
                 ptype: PacketType::Data,
                 multicast,
             };
+            ctx.trace_instant(
+                Layer::Flip,
+                "fragment",
+                &[("bytes", chunk.len() as u64), ("offset", offset as u64)],
+            );
             self.nic.send(ctx, eth_dst, header.encode_with(&chunk));
             self.state.lock().stats.packets_sent += 1;
             offset = end;

@@ -255,7 +255,10 @@ fn concurrent_senders_interleave_without_corruption() {
                 .map(|(_, l)| *l)
                 .collect();
             sizes.sort_unstable();
-            assert_eq!(sizes, (0..5).map(|k| 2000 + k * 100 + i).collect::<Vec<_>>());
+            assert_eq!(
+                sizes,
+                (0..5).map(|k| 2000 + k * 100 + i).collect::<Vec<_>>()
+            );
         }
     });
     sim.run_until_finished(&h).expect("run");

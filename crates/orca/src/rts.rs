@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
+use desim::trace::{Layer, Phase};
 use desim::{Ctx, SimChannel, SimDuration};
 use parking_lot::Mutex;
 
@@ -174,7 +175,11 @@ impl OrcaRts {
             conts: Vec::new(),
         };
         let prev = self.objects.lock().insert(id, entry);
-        assert!(prev.is_none(), "object {id} registered twice on node {}", self.node);
+        assert!(
+            prev.is_none(),
+            "object {id} registered twice on node {}",
+            self.node
+        );
     }
 
     /// Invokes operation `op` on object `id`, blocking until it completes
@@ -184,7 +189,13 @@ impl OrcaRts {
     ///
     /// [`OrcaError::UnknownObject`] if `id` was never registered here;
     /// [`OrcaError::Comm`] if the owner or sequencer is unreachable.
-    pub fn invoke(&self, ctx: &Ctx, id: ObjId, op: OpCode, args: &[u8]) -> Result<Bytes, OrcaError> {
+    pub fn invoke(
+        &self,
+        ctx: &Ctx,
+        id: ObjId,
+        op: OpCode,
+        args: &[u8],
+    ) -> Result<Bytes, OrcaError> {
         ctx.compute(OP_DISPATCH);
         let route = {
             let objects = self.objects.lock();
@@ -206,11 +217,33 @@ impl OrcaRts {
                 Placement::OwnedBy(owner) => Route::Rpc(owner),
             }
         };
-        match route {
+        let route_tag = match route {
+            Route::Local => 0u64,
+            Route::Rpc(_) => 1,
+            Route::Broadcast => 2,
+        };
+        ctx.trace_emit(
+            Layer::Orca,
+            Phase::Begin,
+            "invoke",
+            &[
+                ("obj", u64::from(id.0)),
+                ("op", u64::from(op)),
+                ("route", route_tag),
+            ],
+        );
+        let result = match route {
             Route::Local => self.invoke_local(ctx, id, op, args),
             Route::Rpc(owner) => self.invoke_rpc(ctx, owner, id, op, args),
             Route::Broadcast => self.invoke_broadcast(ctx, id, op, args),
-        }
+        };
+        ctx.trace_emit(
+            Layer::Orca,
+            Phase::End,
+            "invoke",
+            &[("obj", u64::from(id.0)), ("ok", u64::from(result.is_ok()))],
+        );
+        result
     }
 
     // -- local execution ----------------------------------------------------
@@ -232,7 +265,10 @@ impl OrcaRts {
         self.dispatch_outs(ctx, outs);
         match done {
             Some(result) => Ok(result),
-            None => Ok(slot.recv(ctx).expect("continuation always answered")),
+            None => {
+                ctx.trace_instant(Layer::Orca, "guard_block", &[("obj", u64::from(id.0))]);
+                Ok(slot.recv(ctx).expect("continuation always answered"))
+            }
         }
     }
 
@@ -275,6 +311,8 @@ impl OrcaRts {
             // ticket was not consumed by a continuation.
             let ticket = ticket_slot.take().expect("ticket unused on completion");
             self.panda.reply(ctx, ticket, result);
+        } else {
+            ctx.trace_instant(Layer::Orca, "guard_block", &[("obj", u64::from(id.0))]);
         }
         self.dispatch_outs(ctx, outs);
     }
@@ -303,7 +341,9 @@ impl OrcaRts {
             self.group_waiters.lock().remove(&inv);
             return Err(e.into());
         }
-        Ok(slot.recv(ctx).expect("own broadcast always applied locally"))
+        Ok(slot
+            .recv(ctx)
+            .expect("own broadcast always applied locally"))
     }
 
     fn group_upcall(&self, ctx: &Ctx, delivery: GroupDelivery) {
@@ -328,6 +368,8 @@ impl OrcaRts {
             if origin == self.node {
                 self.fulfill_group(ctx, inv, result);
             }
+        } else {
+            ctx.trace_instant(Layer::Orca, "guard_block", &[("obj", u64::from(id.0))]);
         }
         self.dispatch_outs(ctx, outs);
     }
@@ -407,6 +449,11 @@ impl OrcaRts {
     /// suspend the calling thread), so this must run outside object locks.
     fn dispatch_outs(&self, ctx: &Ctx, outs: Vec<(ContReply, Bytes)>) {
         for (reply, result) in outs {
+            ctx.trace_instant(
+                Layer::Orca,
+                "cont_resume",
+                &[("bytes", result.len() as u64)],
+            );
             match reply {
                 ContReply::Remote(ticket) => self.panda.reply(ctx, ticket, result),
                 ContReply::Local(slot) => {

@@ -141,7 +141,12 @@ impl IntHandle {
     ///
     /// Propagates [`OrcaError`] from the runtime.
     pub fn read(&self, ctx: &Ctx) -> Result<i64, OrcaError> {
-        Ok(Self::as_i64(&self.rts.invoke(ctx, self.id, int_ops::READ, &[])?))
+        Ok(Self::as_i64(&self.rts.invoke(
+            ctx,
+            self.id,
+            int_ops::READ,
+            &[],
+        )?))
     }
 
     /// Assigns a new value.
@@ -150,7 +155,8 @@ impl IntHandle {
     ///
     /// Propagates [`OrcaError`] from the runtime.
     pub fn assign(&self, ctx: &Ctx, v: i64) -> Result<(), OrcaError> {
-        self.rts.invoke(ctx, self.id, int_ops::ASSIGN, &Self::arg(v))?;
+        self.rts
+            .invoke(ctx, self.id, int_ops::ASSIGN, &Self::arg(v))?;
         Ok(())
     }
 
@@ -514,7 +520,8 @@ impl BufferHandle {
     pub fn put(&self, ctx: &Ctx, item: &[u8]) -> Result<(), OrcaError> {
         let mut w = WireWriter::with_capacity(4 + item.len());
         w.put_bytes(item);
-        self.rts.invoke(ctx, self.id, buffer_ops::PUT, &w.finish())?;
+        self.rts
+            .invoke(ctx, self.id, buffer_ops::PUT, &w.finish())?;
         Ok(())
     }
 
@@ -695,7 +702,10 @@ mod tests {
         assert_eq!(b.apply(barrier_ops::ARRIVE, &[]), done_i64(0));
         let mut w = WireWriter::new();
         w.put_i64(0);
-        assert_eq!(b.apply(barrier_ops::WAIT_PAST, &w.finish()), OpResult::Blocked);
+        assert_eq!(
+            b.apply(barrier_ops::WAIT_PAST, &w.finish()),
+            OpResult::Blocked
+        );
         assert_eq!(b.apply(barrier_ops::ARRIVE, &[]), done_i64(0));
         let mut w = WireWriter::new();
         w.put_i64(0);

@@ -158,7 +158,9 @@ impl<'a> WireReader<'a> {
     ///
     /// [`WireError`] if the buffer is exhausted.
     pub fn get_u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_be_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
 
     /// Reads a big-endian `u32`.
@@ -167,7 +169,9 @@ impl<'a> WireReader<'a> {
     ///
     /// [`WireError`] if the buffer is exhausted.
     pub fn get_u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Reads a big-endian `u64`.
@@ -176,7 +180,9 @@ impl<'a> WireReader<'a> {
     ///
     /// [`WireError`] if the buffer is exhausted.
     pub fn get_u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads a big-endian `i64`.
@@ -185,7 +191,9 @@ impl<'a> WireReader<'a> {
     ///
     /// [`WireError`] if the buffer is exhausted.
     pub fn get_i64(&mut self) -> Result<i64, WireError> {
-        Ok(i64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(i64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads an `f64`.

@@ -25,7 +25,10 @@ impl OrcaWorld {
     /// Installs a runtime on every Panda node.
     pub fn build(pandas: &[Arc<dyn Panda>]) -> OrcaWorld {
         OrcaWorld {
-            rtses: pandas.iter().map(|p| OrcaRts::install(Arc::clone(p))).collect(),
+            rtses: pandas
+                .iter()
+                .map(|p| OrcaRts::install(Arc::clone(p)))
+                .collect(),
         }
     }
 

@@ -4,12 +4,10 @@
 
 use std::sync::{Arc, Mutex as StdMutex};
 
+use amoeba::{CostModel, Machine};
 use desim::Simulation;
 use ethernet::{MacAddr, NetConfig, Network};
-use amoeba::{CostModel, Machine};
-use orca::{
-    BarrierHandle, BoardHandle, BufferHandle, IntHandle, ObjId, OrcaWorld, QueueHandle,
-};
+use orca::{BarrierHandle, BoardHandle, BufferHandle, IntHandle, ObjId, OrcaWorld, QueueHandle};
 use panda::{KernelSpacePanda, Panda, PandaConfig, UserSpacePanda};
 
 fn build(sim: &mut Simulation, n: u32, kernel: bool) -> (Network, OrcaWorld) {
@@ -98,7 +96,11 @@ fn owned_object_routed_by_rpc() {
             assert_eq!(n.read(ctx).expect("read"), 105);
         });
         sim.run_until_finished(&h).expect("run");
-        assert_eq!(world.rts(0).stats().rpcs, 3, "all three ops went to the owner");
+        assert_eq!(
+            world.rts(0).stats().rpcs,
+            3,
+            "all three ops went to the owner"
+        );
     }
 }
 
@@ -150,7 +152,9 @@ fn guarded_local_op_blocks_and_resumes() {
         let rts1 = world.rts(1);
         sim.spawn(rts1.panda().machine().proc(), "setter", move |ctx| {
             ctx.sleep(desim::ms(2));
-            IntHandle::new(Arc::clone(&rts1), id).assign(ctx, 42).expect("assign");
+            IntHandle::new(Arc::clone(&rts1), id)
+                .assign(ctx, 42)
+                .expect("assign");
         });
         sim.run_until_finished(&waiter).expect("run");
     }
@@ -177,18 +181,26 @@ fn job_queue_master_workers() {
         for node in 1..4u32 {
             let rts = world.rts(node);
             let done = Arc::clone(&done);
-            sim.spawn(rts.panda().machine().proc(), &format!("w{node}"), move |ctx| {
-                let q = QueueHandle::new(Arc::clone(&rts), id);
-                while let Some(job) = q.get(ctx).expect("get") {
-                    let v = u32::from_be_bytes(job[..4].try_into().expect("4 bytes"));
-                    done.lock().expect("done").push(v);
-                }
-            });
+            sim.spawn(
+                rts.panda().machine().proc(),
+                &format!("w{node}"),
+                move |ctx| {
+                    let q = QueueHandle::new(Arc::clone(&rts), id);
+                    while let Some(job) = q.get(ctx).expect("get") {
+                        let v = u32::from_be_bytes(job[..4].try_into().expect("4 bytes"));
+                        done.lock().expect("done").push(v);
+                    }
+                },
+            );
         }
         sim.run().expect("run");
         let mut got = done.lock().expect("done").clone();
         got.sort_unstable();
-        assert_eq!(got, (0..20).collect::<Vec<_>>(), "every job done exactly once");
+        assert_eq!(
+            got,
+            (0..20).collect::<Vec<_>>(),
+            "every job done exactly once"
+        );
     }
 }
 
@@ -203,13 +215,17 @@ fn barrier_synchronizes_all_nodes() {
         for node in 0..4u32 {
             let rts = world.rts(node);
             let after = Arc::clone(&after);
-            sim.spawn(rts.panda().machine().proc(), &format!("p{node}"), move |ctx| {
-                let b = BarrierHandle::new(Arc::clone(&rts), id);
-                // Stagger arrivals; nobody may pass before the last arrival.
-                ctx.sleep(desim::ms(u64::from(node) * 3));
-                b.sync(ctx).expect("sync");
-                after.lock().expect("after").push(ctx.now().as_millis_f64());
-            });
+            sim.spawn(
+                rts.panda().machine().proc(),
+                &format!("p{node}"),
+                move |ctx| {
+                    let b = BarrierHandle::new(Arc::clone(&rts), id);
+                    // Stagger arrivals; nobody may pass before the last arrival.
+                    ctx.sleep(desim::ms(u64::from(node) * 3));
+                    b.sync(ctx).expect("sync");
+                    after.lock().expect("after").push(ctx.now().as_millis_f64());
+                },
+            );
         }
         sim.run().expect("run");
         let after = after.lock().expect("after");
@@ -270,12 +286,16 @@ fn sequential_consistency_of_replicated_writes() {
         world.create_replicated(id, || orca::SharedInt::new(-1));
         for node in 0..2u32 {
             let rts = world.rts(node);
-            sim.spawn(rts.panda().machine().proc(), &format!("w{node}"), move |ctx| {
-                let n = IntHandle::new(Arc::clone(&rts), id);
-                for k in 0..10 {
-                    n.assign(ctx, i64::from(node) * 100 + k).expect("assign");
-                }
-            });
+            sim.spawn(
+                rts.panda().machine().proc(),
+                &format!("w{node}"),
+                move |ctx| {
+                    let n = IntHandle::new(Arc::clone(&rts), id);
+                    for k in 0..10 {
+                        n.assign(ctx, i64::from(node) * 100 + k).expect("assign");
+                    }
+                },
+            );
         }
         sim.run().expect("run");
         // After the dust settles, all replicas hold the same final value:
@@ -299,7 +319,10 @@ fn sequential_consistency_of_replicated_writes() {
         sim.run().expect("second run");
         let finals = finals.lock().expect("finals");
         assert_eq!(finals.len(), 3);
-        assert!(finals.iter().all(|v| *v == finals[0]), "replicas agree: {finals:?}");
+        assert!(
+            finals.iter().all(|v| *v == finals[0]),
+            "replicas agree: {finals:?}"
+        );
         assert_ne!(finals[0], -1, "writes happened");
     }
 }
@@ -310,7 +333,9 @@ fn unknown_object_is_an_error_not_a_panic() {
     let (_net, world) = build(&mut sim, 2, false);
     let rts = world.rts(0);
     let h = sim.spawn(rts.panda().machine().proc(), "t", move |ctx| {
-        let err = rts.invoke(ctx, ObjId(999), 0, &[]).expect_err("unregistered");
+        let err = rts
+            .invoke(ctx, ObjId(999), 0, &[])
+            .expect_err("unregistered");
         assert!(matches!(err, orca::OrcaError::UnknownObject(ObjId(999))));
     });
     sim.run_until_finished(&h).expect("run");

@@ -13,6 +13,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use bytes::Bytes;
+use desim::trace::{Layer, Phase};
 use desim::{Ctx, RecvTimeoutError, SimChannel, SimDuration, Simulation, SwitchCharge};
 use parking_lot::Mutex;
 
@@ -228,9 +229,31 @@ impl UserGroup {
             a: 0,
             b: piggyback,
         };
+        ctx.trace_emit(
+            Layer::Group,
+            Phase::Begin,
+            "grp_send",
+            &[
+                ("msg_id", msg_id),
+                ("bytes", payload.len() as u64),
+                ("bb", u64::from(big)),
+            ],
+        );
+        ctx.trace_cost(
+            Layer::Group,
+            "protocol_layer",
+            self.sys.machine().cost().protocol_layer,
+        );
         ctx.compute(self.sys.machine().cost().protocol_layer);
         let mut result = Err(CommError::Timeout);
         for attempt in 0..=self.config.send_retries {
+            if attempt > 0 {
+                ctx.trace_instant(
+                    Layer::Group,
+                    "retransmit",
+                    &[("msg_id", msg_id), ("attempt", u64::from(attempt))],
+                );
+            }
             if big && attempt == 0 {
                 let bb_header = PandaHeader {
                     module: Module::Group,
@@ -241,9 +264,11 @@ impl UserGroup {
                     b: piggyback,
                 };
                 self.sys.send_group(ctx, bb_header, &payload, true);
-                self.sys.send(ctx, self.sequencer, req_header, &Bytes::new());
+                self.sys
+                    .send(ctx, self.sequencer, req_header, &Bytes::new());
             } else if big {
-                self.sys.send(ctx, self.sequencer, req_header, &Bytes::new());
+                self.sys
+                    .send(ctx, self.sequencer, req_header, &Bytes::new());
             } else {
                 self.sys.send(ctx, self.sequencer, req_header, &payload);
             }
@@ -258,6 +283,12 @@ impl UserGroup {
             }
         }
         self.state.lock().send_waiters.remove(&msg_id);
+        ctx.trace_emit(
+            Layer::Group,
+            Phase::End,
+            "grp_send",
+            &[("msg_id", msg_id), ("ok", u64::from(result.is_ok()))],
+        );
         result
     }
 
@@ -406,6 +437,9 @@ impl UserGroup {
             // Dispatch from the interrupt path to this thread: the paper's
             // 110 us (60 us when this machine is a dedicated sequencer),
             // plus the system call fetching the message from the network.
+            ctx.trace_cost(Layer::Group, "sequencer_dispatch", dispatch_charge);
+            ctx.trace_cost(Layer::Group, "syscall", cost.syscall(cost.deep_call_depth));
+            ctx.trace_cost(Layer::Group, "protocol_layer", cost.protocol_layer);
             ctx.compute_charged(
                 cost.syscall(cost.deep_call_depth) + cost.protocol_layer,
                 SwitchCharge::Fixed(dispatch_charge),
@@ -420,6 +454,11 @@ impl UserGroup {
                     self.note_progress(&mut seq, sender, piggyback);
                     let key = (sender, msg_id);
                     if let Some(&assigned) = seq.seen.get(&key) {
+                        ctx.trace_instant(
+                            Layer::Group,
+                            "dup_suppressed",
+                            &[("sender", u64::from(sender)), ("seq", assigned)],
+                        );
                         if let Some((s, m, data)) = seq.history.get(&assigned).cloned() {
                             if data.len() > self.config.bb_threshold {
                                 // The sender holds its own BB data; a small
@@ -465,6 +504,11 @@ impl UserGroup {
                     from,
                     piggyback,
                 } => {
+                    ctx.trace_instant(
+                        Layer::Group,
+                        "retrans_req_rx",
+                        &[("sender", u64::from(requester)), ("from_seq", from)],
+                    );
                     self.note_progress(&mut seq, requester, piggyback);
                     let to = (from + self.config.retrans_chunk).min(seq.next_seq);
                     for s in from..to {
@@ -491,6 +535,15 @@ impl UserGroup {
     fn assign(&self, ctx: &Ctx, seq: &mut SeqState, sender: NodeId, msg_id: u64, payload: Bytes) {
         let s = seq.next_seq;
         seq.next_seq += 1;
+        ctx.trace_instant(
+            Layer::Group,
+            "seq_assign",
+            &[
+                ("seq", s),
+                ("sender", u64::from(sender)),
+                ("msg_id", msg_id),
+            ],
+        );
         seq.seen.insert((sender, msg_id), s);
         seq.history.insert(s, (sender, msg_id, payload.clone()));
         let big = payload.len() > self.config.bb_threshold;
@@ -535,7 +588,12 @@ impl UserGroup {
     fn resync_laggards(&self, ctx: &Ctx, seq: &mut SeqState) {
         let top = seq.next_seq;
         if std::env::var("GROUP_DEBUG").is_ok() {
-            eprintln!("[resync t={}] next_seq={} delivered={:?}", ctx.now(), top, seq.delivered);
+            eprintln!(
+                "[resync t={}] next_seq={} delivered={:?}",
+                ctx.now(),
+                top,
+                seq.delivered
+            );
         }
         let laggards: Vec<(NodeId, u64)> = seq
             .delivered
@@ -584,7 +642,11 @@ impl UserGroup {
 
     fn trim_history(&self, seq: &mut SeqState) {
         let min_delivered = seq.delivered.iter().copied().min().unwrap_or(0);
-        let keys: Vec<u64> = seq.history.range(..=min_delivered).map(|(k, _)| *k).collect();
+        let keys: Vec<u64> = seq
+            .history
+            .range(..=min_delivered)
+            .map(|(k, _)| *k)
+            .collect();
         for k in keys {
             let e = seq.history.remove(&k).expect("key from range");
             seq.seen.remove(&(e.0, e.1));
@@ -738,9 +800,19 @@ impl UserGroup {
         }
         let cost = self.sys.machine().cost().clone();
         let handler = self.handler.lock().clone();
+        ctx.trace_cost(Layer::Group, "protocol_layer", cost.protocol_layer);
         ctx.compute(cost.protocol_layer);
         for (delivery, wake) in deliveries {
             let seq = delivery.seq;
+            ctx.trace_instant(
+                Layer::Group,
+                "deliver",
+                &[
+                    ("seq", seq),
+                    ("sender", u64::from(delivery.sender)),
+                    ("bytes", delivery.payload.len() as u64),
+                ],
+            );
             if let Some(h) = &handler {
                 h(ctx, delivery);
             }
@@ -748,6 +820,11 @@ impl UserGroup {
                 // Notifying the condition variable the sending client sleeps
                 // on is a system call with underflow traps on return — the
                 // ~40 us the paper charges the user-space group send path.
+                ctx.trace_cost(
+                    Layer::Group,
+                    "syscall",
+                    cost.syscall(cost.shallow_call_depth),
+                );
                 ctx.compute(cost.syscall(cost.shallow_call_depth));
                 let _ = w.send(ctx, seq);
             }

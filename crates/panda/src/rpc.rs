@@ -17,6 +17,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use bytes::Bytes;
+use desim::trace::{Layer, Phase};
 use desim::{Ctx, RecvTimeoutError, SimChannel, SimMutex, Simulation};
 use parking_lot::Mutex;
 
@@ -68,7 +69,9 @@ pub(crate) struct UserRpc {
 
 impl fmt::Debug for UserRpc {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("UserRpc").field("node", &self.sys.node()).finish()
+        f.debug_struct("UserRpc")
+            .field("node", &self.sys.node())
+            .finish()
     }
 }
 
@@ -95,9 +98,13 @@ impl UserRpc {
         }));
         let ack_rpc = Arc::clone(&rpc);
         let proc = sys.machine().proc();
-        sim.spawn_daemon(proc, &format!("{}-ackd", sys.machine().name()), move |ctx| {
-            ack_rpc.ack_daemon(ctx);
-        });
+        sim.spawn_daemon(
+            proc,
+            &format!("{}-ackd", sys.machine().name()),
+            move |ctx| {
+                ack_rpc.ack_daemon(ctx);
+            },
+        );
         rpc
     }
 
@@ -135,12 +142,31 @@ impl UserRpc {
             a: seq,
             b: ack.unwrap_or(0),
         };
+        ctx.trace_emit(
+            Layer::Rpc,
+            Phase::Begin,
+            "call",
+            &[("seq", seq), ("bytes", request.len() as u64)],
+        );
+        ctx.trace_cost(
+            Layer::Rpc,
+            "protocol_layer",
+            self.sys.machine().cost().protocol_layer,
+        );
         ctx.compute(self.sys.machine().cost().protocol_layer);
         let mut result = Err(CommError::Timeout);
         let mut attempt = 0u32;
         let mut sent = false;
         while attempt <= self.config.rpc_retries {
             if !sent {
+                if attempt > 0 {
+                    ctx.trace_instant(
+                        Layer::Rpc,
+                        "retransmit",
+                        &[("seq", seq), ("attempt", u64::from(attempt))],
+                    );
+                }
+                ctx.trace_instant(Layer::Rpc, "request_tx", &[("seq", seq)]);
                 self.sys.send(ctx, dst, header, &request);
                 sent = true;
             }
@@ -171,12 +197,28 @@ impl UserRpc {
             let _ = self.ack_queue.send(ctx, (dst, seq));
         }
         drop(st);
+        ctx.trace_emit(
+            Layer::Rpc,
+            Phase::End,
+            "call",
+            &[("seq", seq), ("ok", u64::from(result.is_ok()))],
+        );
         result
     }
 
     /// Answers a held request; callable from any thread (the user-space
     /// advantage: the reply is transmitted directly, no thread signalling).
     pub(crate) fn reply_to(&self, ctx: &Ctx, client: NodeId, seq: u64, reply: Bytes) {
+        ctx.trace_instant(
+            Layer::Rpc,
+            "reply_tx",
+            &[("seq", seq), ("bytes", reply.len() as u64)],
+        );
+        ctx.trace_cost(
+            Layer::Rpc,
+            "protocol_layer",
+            self.sys.machine().cost().protocol_layer,
+        );
         ctx.compute(self.sys.machine().cost().protocol_layer);
         {
             let mut inc = self.incoming.lock();
@@ -198,10 +240,20 @@ impl UserRpc {
 
     /// System-layer upcall for RPC traffic (runs on the receive daemon).
     fn upcall(&self, ctx: &Ctx, header: PandaHeader, body: Bytes) {
+        ctx.trace_cost(
+            Layer::Rpc,
+            "protocol_layer",
+            self.sys.machine().cost().protocol_layer,
+        );
         ctx.compute(self.sys.machine().cost().protocol_layer);
         match header.kind {
             KIND_REQUEST => self.handle_request(ctx, header, body),
             KIND_REPLY => {
+                ctx.trace_instant(
+                    Layer::Rpc,
+                    "reply_rx",
+                    &[("seq", header.a), ("bytes", body.len() as u64)],
+                );
                 let slot = self.replies.lock().get(&(header.src, header.a)).cloned();
                 if let Some(slot) = slot {
                     // Hand the reply to the blocked client thread. Two
@@ -231,6 +283,7 @@ impl UserRpc {
     fn handle_request(&self, ctx: &Ctx, header: PandaHeader, body: Bytes) {
         let client = header.src;
         let seq = header.a;
+        ctx.trace_instant(Layer::Rpc, "request_rx", &[("seq", seq)]);
         enum Action {
             Deliver,
             Resend(Bytes),
@@ -241,10 +294,9 @@ impl UserRpc {
             let mut inc = self.incoming.lock();
             let conn = inc.entry(client).or_insert_with(new_in_conn);
             // Piggybacked acknowledgement of the previous reply.
-            if header.b > 0
-                && conn.cached.as_ref().is_some_and(|(s, _)| *s <= header.b) {
-                    conn.cached = None;
-                }
+            if header.b > 0 && conn.cached.as_ref().is_some_and(|(s, _)| *s <= header.b) {
+                conn.cached = None;
+            }
             if let Some((s, r)) = &conn.cached {
                 if *s == seq {
                     Action::Resend(r.clone()) // lost reply, retransmit it
@@ -274,6 +326,8 @@ impl UserRpc {
                 handler(ctx, client, body, ticket);
             }
             Action::Resend(reply) => {
+                ctx.trace_instant(Layer::Rpc, "dup_suppressed", &[("seq", seq)]);
+                ctx.trace_instant(Layer::Rpc, "reply_resend", &[("seq", seq)]);
                 let header = PandaHeader {
                     module: Module::Rpc,
                     kind: KIND_REPLY,
@@ -287,6 +341,8 @@ impl UserRpc {
             Action::Working => {
                 // Tell the retransmitting client its request is held by a
                 // blocked guard and the server is alive.
+                ctx.trace_instant(Layer::Rpc, "dup_suppressed", &[("seq", seq)]);
+                ctx.trace_instant(Layer::Rpc, "working_tx", &[("seq", seq)]);
                 let header = PandaHeader {
                     module: Module::Rpc,
                     kind: KIND_WORKING,
@@ -311,6 +367,7 @@ impl UserRpc {
             if st.pending_ack == Some(seq) {
                 st.pending_ack = None;
                 drop(st);
+                ctx.trace_instant(Layer::Rpc, "ack_tx", &[("seq", seq)]);
                 let header = PandaHeader {
                     module: Module::Rpc,
                     kind: KIND_ACK,

@@ -11,6 +11,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use bytes::{BufMut, Bytes, BytesMut};
+use desim::trace::Layer;
 use desim::{Ctx, SimChannel, Simulation};
 use ethernet::McastAddr;
 use flip::{FlipAddr, FlipMessage};
@@ -206,10 +207,20 @@ impl SysLayer {
         while let Some(fm) = inbox.recv(ctx) {
             // Return from the blocking receive syscall with Panda's deep
             // stack: all register windows fault back in.
+            ctx.trace_cost(Layer::Flip, "syscall", cost.syscall(cost.deep_call_depth));
             ctx.compute(cost.syscall(cost.deep_call_depth));
             let Some((header, body)) = PandaHeader::decode(&fm.payload) else {
                 continue;
             };
+            let layer = match header.module {
+                Module::Rpc => Layer::Rpc,
+                Module::Group => Layer::Group,
+            };
+            ctx.trace_instant(
+                layer,
+                "sys_upcall",
+                &[("src", u64::from(header.src)), ("bytes", body.len() as u64)],
+            );
             let up = {
                 let ups = self.upcalls.lock();
                 match header.module {
@@ -226,6 +237,11 @@ impl SysLayer {
     /// Sends a Panda message to node `dst`. Charges Panda's own (portable)
     /// fragmentation layer plus the user-level FLIP send syscall.
     pub fn send(&self, ctx: &Ctx, dst: NodeId, header: PandaHeader, body: &Bytes) {
+        ctx.trace_cost(
+            Layer::Flip,
+            "fragmentation_layer",
+            self.machine.cost().fragmentation_layer,
+        );
         ctx.compute(self.machine.cost().fragmentation_layer);
         let wire = header.encode_with(body);
         self.machine
@@ -244,6 +260,11 @@ impl SysLayer {
         charge_fragmentation: bool,
     ) {
         if charge_fragmentation {
+            ctx.trace_cost(
+                Layer::Flip,
+                "fragmentation_layer",
+                self.machine.cost().fragmentation_layer,
+            );
             ctx.compute(self.machine.cost().fragmentation_layer);
         }
         let wire = header.encode_with(body);

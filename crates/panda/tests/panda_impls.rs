@@ -5,13 +5,11 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex as StdMutex};
 
+use amoeba::{CostModel, Machine};
 use bytes::Bytes;
 use desim::{ms, SimChannel, Simulation};
 use ethernet::{MacAddr, NetConfig, Network};
-use amoeba::{CostModel, Machine};
-use panda::{
-    GroupDelivery, KernelSpacePanda, Panda, PandaConfig, UserSpacePanda,
-};
+use panda::{GroupDelivery, KernelSpacePanda, Panda, PandaConfig, UserSpacePanda};
 
 fn boot_machines(sim: &mut Simulation, n: u32) -> (Network, Vec<Machine>) {
     let mut net = Network::new(NetConfig::default());
@@ -37,11 +35,7 @@ enum Impl {
     UserDedicated,
 }
 
-fn build_world(
-    sim: &mut Simulation,
-    n_nodes: u32,
-    which: &Impl,
-) -> (Network, Vec<Arc<dyn Panda>>) {
+fn build_world(sim: &mut Simulation, n_nodes: u32, which: &Impl) -> (Network, Vec<Arc<dyn Panda>>) {
     // A dedicated sequencer occupies one machine beyond the app nodes.
     let n_machines = match which {
         Impl::UserDedicated => n_nodes + 1,
@@ -96,7 +90,9 @@ fn rpc_roundtrip_both_impls() {
         }
         let client = Arc::clone(&nodes[0]);
         let h = sim.spawn(client.machine().proc(), "client", move |ctx| {
-            let reply = client.rpc(ctx, 1, Bytes::from_static(b"ping")).expect("rpc");
+            let reply = client
+                .rpc(ctx, 1, Bytes::from_static(b"ping"))
+                .expect("rpc");
             assert_eq!(&reply[..], b"gnip");
             // A second call exercises the piggybacked-ack path.
             let reply = client.rpc(ctx, 1, Bytes::from_static(b"abc")).expect("rpc");
@@ -148,18 +144,16 @@ fn asynchronous_reply_from_another_thread() {
         }
         // A separate "guard became true" thread answers 2 ms later.
         let replier = Arc::clone(&nodes[1]);
-        sim.spawn(
-            nodes[1].machine().proc(),
-            "guard-setter",
-            move |ctx| {
-                let ticket = pending.recv(ctx).expect("ticket");
-                ctx.sleep(ms(2));
-                replier.reply(ctx, ticket, Bytes::from_static(b"finally"));
-            },
-        );
+        sim.spawn(nodes[1].machine().proc(), "guard-setter", move |ctx| {
+            let ticket = pending.recv(ctx).expect("ticket");
+            ctx.sleep(ms(2));
+            replier.reply(ctx, ticket, Bytes::from_static(b"finally"));
+        });
         let client = Arc::clone(&nodes[0]);
         let h = sim.spawn(client.machine().proc(), "client", move |ctx| {
-            let reply = client.rpc(ctx, 1, Bytes::from_static(b"wait")).expect("rpc");
+            let reply = client
+                .rpc(ctx, 1, Bytes::from_static(b"wait"))
+                .expect("rpc");
             assert_eq!(&reply[..], b"finally");
             assert!(ctx.now().as_millis_f64() >= 2.0);
         });
@@ -258,7 +252,8 @@ fn group_survives_packet_loss_both_impls() {
                 &format!("send{}", n.node()),
                 move |ctx| {
                     for _ in 0..per_sender {
-                        n.group_send(ctx, Bytes::from(vec![7u8; 24])).expect("sequenced");
+                        n.group_send(ctx, Bytes::from(vec![7u8; 24]))
+                            .expect("sequenced");
                     }
                 },
             );
@@ -386,8 +381,7 @@ fn nonblocking_broadcast_hides_latency_and_stays_ordered() {
         (net, machines)
     };
     let nodes = panda::UserSpacePanda::build(&mut sim, &machines, &panda::PandaConfig::default());
-    let order: Arc<StdMutex<Vec<Vec<u8>>>> =
-        Arc::new(StdMutex::new(vec![Vec::new(); nodes.len()]));
+    let order: Arc<StdMutex<Vec<Vec<u8>>>> = Arc::new(StdMutex::new(vec![Vec::new(); nodes.len()]));
     for (i, n) in nodes.iter().enumerate() {
         let order = Arc::clone(&order);
         n.set_group_handler(Arc::new(move |_ctx, d: GroupDelivery| {
@@ -410,7 +404,9 @@ fn nonblocking_broadcast_hides_latency_and_stays_ordered() {
         ea.store(fire_time.as_nanos(), Ordering::SeqCst);
         // A blocking send for comparison: one full sequencer round trip.
         let t0 = ctx.now();
-        sender.group_send(ctx, Bytes::from(vec![99u8; 16])).expect("send");
+        sender
+            .group_send(ctx, Bytes::from(vec![99u8; 16]))
+            .expect("send");
         let one_blocking = ctx.now() - t0;
         assert!(
             fire_time < one_blocking * 10,
@@ -422,7 +418,10 @@ fn nonblocking_broadcast_hides_latency_and_stays_ordered() {
     let order = order.lock().expect("order");
     for node_log in order.iter() {
         assert_eq!(node_log.len(), 11, "all messages delivered");
-        assert_eq!(node_log, &order[0], "identical total order with async sends");
+        assert_eq!(
+            node_log, &order[0],
+            "identical total order with async sends"
+        );
         // The sender's own burst stays in submission order.
         assert_eq!(&node_log[..10], &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
     }
@@ -459,10 +458,16 @@ fn nonblocking_flush_recovers_from_lost_request() {
     let h = sim.spawn(nodes[1].machine().proc(), "sender", move |ctx| {
         // Kill the next frame: the async request dies on the wire.
         net.faults().lock().force_drop_next = 1;
-        sender.group_module().send_nonblocking(ctx, Bytes::from_static(b"x"));
+        sender
+            .group_module()
+            .send_nonblocking(ctx, Bytes::from_static(b"x"));
         sender.group_module().flush(ctx).expect("flush retransmits");
     });
     sim.run_until_finished(&h).expect("run");
     let _ = sim.run();
-    assert_eq!(delivered.load(Ordering::SeqCst), 2, "delivered at both nodes");
+    assert_eq!(
+        delivered.load(Ordering::SeqCst),
+        2,
+        "delivered at both nodes"
+    );
 }

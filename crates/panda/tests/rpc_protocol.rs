@@ -5,10 +5,10 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use amoeba::{CostModel, Machine};
 use bytes::Bytes;
 use desim::{ms, SimChannel, Simulation};
 use ethernet::{MacAddr, NetConfig, Network};
-use amoeba::{CostModel, Machine};
 use panda::{Panda, PandaConfig, UserSpacePanda};
 
 fn world(
@@ -20,7 +20,14 @@ fn world(
     let seg = net.add_segment(sim, "s0");
     let machines: Vec<Machine> = (0..n)
         .map(|i| {
-            Machine::boot(sim, &mut net, seg, MacAddr(i), &format!("m{i}"), CostModel::default())
+            Machine::boot(
+                sim,
+                &mut net,
+                seg,
+                MacAddr(i),
+                &format!("m{i}"),
+                CostModel::default(),
+            )
         })
         .collect();
     let nodes = UserSpacePanda::build(sim, &machines, cfg);
@@ -58,7 +65,11 @@ fn stop_and_wait_serializes_calls_per_connection() {
         });
     }
     sim.run().expect("run");
-    assert_eq!(overlap_seen.load(Ordering::SeqCst), 0, "one request in flight per conn");
+    assert_eq!(
+        overlap_seen.load(Ordering::SeqCst),
+        0,
+        "one request in flight per conn"
+    );
 }
 
 #[test]
@@ -81,7 +92,9 @@ fn quiet_client_sends_explicit_ack() {
     nodes[0].set_rpc_handler(Arc::new(|_, _, _, _| {}));
     let client = Arc::clone(&nodes[0]);
     let h = sim.spawn(machines[0].proc(), "client", move |ctx| {
-        client.rpc(ctx, 1, Bytes::from_static(b"only")).expect("rpc");
+        client
+            .rpc(ctx, 1, Bytes::from_static(b"only"))
+            .expect("rpc");
         // Stay quiet past the ack delay.
         ctx.sleep(ms(20));
     });
@@ -155,7 +168,9 @@ fn working_probe_waits_out_long_server_holds() {
     });
     let client = Arc::clone(&nodes[0]);
     let h = sim.spawn(machines[0].proc(), "client", move |ctx| {
-        let r = client.rpc(ctx, 1, Bytes::from_static(b"hold me")).expect("held rpc");
+        let r = client
+            .rpc(ctx, 1, Bytes::from_static(b"hold me"))
+            .expect("held rpc");
         assert_eq!(&r[..], b"eventually");
         assert!(ctx.now().as_millis_f64() >= 200.0);
     });
@@ -185,13 +200,21 @@ fn duplicate_requests_do_not_reexecute() {
     nodes[0].set_rpc_handler(Arc::new(|_, _, _, _| {}));
     let client = Arc::clone(&nodes[0]);
     let h = sim.spawn(machines[0].proc(), "client", move |ctx| {
-        client.rpc(ctx, 1, Bytes::from_static(b"warm")).expect("warmup");
+        client
+            .rpc(ctx, 1, Bytes::from_static(b"warm"))
+            .expect("warmup");
         // Two drops: the request goes through on attempt 2, then the reply
         // dies, and the cached-reply path answers the retransmission.
         net.faults().lock().force_drop_next = 2;
-        let r = client.rpc(ctx, 1, Bytes::from_static(b"again")).expect("recovers");
+        let r = client
+            .rpc(ctx, 1, Bytes::from_static(b"again"))
+            .expect("recovers");
         assert_eq!(&r[..], b"again");
     });
     sim.run_until_finished(&h).expect("run");
-    assert_eq!(executions.load(Ordering::SeqCst), 2, "warmup + one real execution");
+    assert_eq!(
+        executions.load(Ordering::SeqCst),
+        2,
+        "warmup + one real execution"
+    );
 }

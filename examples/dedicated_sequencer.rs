@@ -34,7 +34,14 @@ fn run(config: Config, workers: u32) -> f64 {
     };
     let machines: Vec<Machine> = (0..total_machines)
         .map(|i| {
-            Machine::boot(&mut sim, &mut net, seg, MacAddr(i), &format!("m{i}"), CostModel::default())
+            Machine::boot(
+                &mut sim,
+                &mut net,
+                seg,
+                MacAddr(i),
+                &format!("m{i}"),
+                CostModel::default(),
+            )
         })
         .collect();
     let nodes: Vec<Arc<dyn Panda>> = match config {
@@ -70,7 +77,8 @@ fn run(config: Config, workers: u32) -> f64 {
         sim.spawn(proc, &format!("worker{}", n.node()), move |ctx| {
             for _ in 0..rounds {
                 ctx.compute(us(300));
-                n.group_send(ctx, Bytes::from(vec![0u8; 256])).expect("broadcast");
+                n.group_send(ctx, Bytes::from(vec![0u8; 256]))
+                    .expect("broadcast");
             }
         });
     }

@@ -13,13 +13,24 @@ use bytes::Bytes;
 use orca_panda::prelude::*;
 
 fn run(kernel_space: bool, loss: f64) {
-    let label = if kernel_space { "kernel-space" } else { "user-space" };
+    let label = if kernel_space {
+        "kernel-space"
+    } else {
+        "user-space"
+    };
     let mut sim = Simulation::new(0xfa_17);
     let mut net = Network::new(NetConfig::default());
     let seg = net.add_segment(&mut sim, "seg0");
     let machines: Vec<Machine> = (0..3)
         .map(|i| {
-            Machine::boot(&mut sim, &mut net, seg, MacAddr(i), &format!("m{i}"), CostModel::default())
+            Machine::boot(
+                &mut sim,
+                &mut net,
+                seg,
+                MacAddr(i),
+                &format!("m{i}"),
+                CostModel::default(),
+            )
         })
         .collect();
     net.faults().lock().rx_loss_prob = loss;
@@ -59,14 +70,18 @@ fn run(kernel_space: bool, loss: f64) {
     sim.spawn(machines[0].proc(), "rpc-client", move |ctx| {
         for i in 0..rpcs {
             let body = Bytes::from(i.to_be_bytes().to_vec());
-            let reply = client.rpc(ctx, 1, body.clone()).expect("rpc recovers from loss");
+            let reply = client
+                .rpc(ctx, 1, body.clone())
+                .expect("rpc recovers from loss");
             assert_eq!(reply, body, "reply payload intact");
         }
     });
     let caster = Arc::clone(&nodes[2]);
     sim.spawn(machines[2].proc(), "broadcaster", move |ctx| {
         for _ in 0..broadcasts {
-            caster.group_send(ctx, Bytes::from(vec![9u8; 600])).expect("broadcast recovers");
+            caster
+                .group_send(ctx, Bytes::from(vec![9u8; 600]))
+                .expect("broadcast recovers");
         }
     });
     sim.run().expect("run");

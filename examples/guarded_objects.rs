@@ -13,17 +13,28 @@
 
 use std::sync::Arc;
 
-use orca_panda::prelude::*;
 use orca::BufferHandle;
+use orca_panda::prelude::*;
 
 fn run(kernel_space: bool) -> (f64, u64) {
-    let label = if kernel_space { "kernel-space" } else { "user-space" };
+    let label = if kernel_space {
+        "kernel-space"
+    } else {
+        "user-space"
+    };
     let mut sim = Simulation::new(3);
     let mut net = Network::new(NetConfig::default());
     let seg = net.add_segment(&mut sim, "seg0");
     let machines: Vec<Machine> = (0..2)
         .map(|i| {
-            Machine::boot(&mut sim, &mut net, seg, MacAddr(i), &format!("m{i}"), CostModel::default())
+            Machine::boot(
+                &mut sim,
+                &mut net,
+                seg,
+                MacAddr(i),
+                &format!("m{i}"),
+                CostModel::default(),
+            )
         })
         .collect();
     let nodes: Vec<Arc<dyn Panda>> = if kernel_space {

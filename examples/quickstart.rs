@@ -10,7 +10,11 @@ use bytes::Bytes;
 use orca_panda::prelude::*;
 
 fn demo(kernel_space: bool) {
-    let label = if kernel_space { "kernel-space" } else { "user-space" };
+    let label = if kernel_space {
+        "kernel-space"
+    } else {
+        "user-space"
+    };
     let mut sim = Simulation::new(7);
     let mut net = Network::new(NetConfig::default());
     let seg = net.add_segment(&mut sim, "seg0");
@@ -56,13 +60,19 @@ fn demo(kernel_space: bool) {
     let proc = machines[0].proc();
     let done = sim.spawn(proc, "client", move |ctx| {
         // Warm the route, then time one RPC and one broadcast.
-        client.rpc(ctx, 1, Bytes::from_static(b"warmup")).expect("rpc");
+        client
+            .rpc(ctx, 1, Bytes::from_static(b"warmup"))
+            .expect("rpc");
         let t0 = ctx.now();
-        let reply = client.rpc(ctx, 1, Bytes::from_static(b"hello amoeba")).expect("rpc");
+        let reply = client
+            .rpc(ctx, 1, Bytes::from_static(b"hello amoeba"))
+            .expect("rpc");
         let rpc_time = ctx.now() - t0;
         assert_eq!(&reply[..], b"HELLO AMOEBA");
         let t0 = ctx.now();
-        client.group_send(ctx, Bytes::from_static(b"ordered!")).expect("broadcast");
+        client
+            .group_send(ctx, Bytes::from_static(b"ordered!"))
+            .expect("broadcast");
         let grp_time = ctx.now() - t0;
         println!("  {label:<13} RPC {rpc_time}   totally-ordered broadcast {grp_time}");
     });

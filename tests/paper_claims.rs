@@ -13,7 +13,10 @@ fn kernel_rpc_beats_user_rpc_by_fractions_of_a_millisecond() {
     let user = rpc_latency(0, Which::User, &cost).as_micros_f64();
     let kernel = rpc_latency(0, Which::Kernel, &cost).as_micros_f64();
     let gap = user - kernel;
-    assert!(gap > 0.0, "user-space RPC must be slower (paper: +290us), gap={gap:.0}us");
+    assert!(
+        gap > 0.0,
+        "user-space RPC must be slower (paper: +290us), gap={gap:.0}us"
+    );
     assert!(
         (100.0..600.0).contains(&gap),
         "the gap should be a few hundred microseconds (paper: 290), got {gap:.0}us"
@@ -27,7 +30,10 @@ fn kernel_group_beats_user_group_by_fractions_of_a_millisecond() {
     let user = group_latency(0, Which::User, &cost).as_micros_f64();
     let kernel = group_latency(0, Which::Kernel, &cost).as_micros_f64();
     let gap = user - kernel;
-    assert!(gap > 0.0, "user-space group must be slower (paper: +230us), gap={gap:.0}us");
+    assert!(
+        gap > 0.0,
+        "user-space group must be slower (paper: +230us), gap={gap:.0}us"
+    );
     assert!(
         (100.0..600.0).contains(&gap),
         "the gap should be a few hundred microseconds (paper: 230), got {gap:.0}us"
@@ -90,7 +96,10 @@ fn full_stack_runs_are_deterministic() {
     let cost = CostModel::default();
     let a = rpc_latency(1024, Which::User, &cost);
     let b = rpc_latency(1024, Which::User, &cost);
-    assert_eq!(a, b, "identical seeds must give identical virtual latencies");
+    assert_eq!(
+        a, b,
+        "identical seeds must give identical virtual latencies"
+    );
     let g1 = group_latency(512, Which::Kernel, &cost);
     let g2 = group_latency(512, Which::Kernel, &cost);
     assert_eq!(g1, g2);

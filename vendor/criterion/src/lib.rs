@@ -1,0 +1,100 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark harness
+//! with the same entry points (`Criterion::bench_function`, `Bencher::iter`,
+//! `criterion_group!`, `criterion_main!`). It runs a short warm-up, then a
+//! fixed measurement pass, and prints mean time per iteration.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to each group function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Runs `f` as the benchmark named `id` and prints its mean time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        // Warm-up pass (discarded).
+        f(&mut b);
+        b.iters = 0;
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        let mean = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / b.iters as u32
+        };
+        println!(
+            "{id:<40} {:>12.3} µs/iter ({} iters)",
+            mean.as_secs_f64() * 1e6,
+            b.iters
+        );
+        self
+    }
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records total time.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Enough iterations for a stable mean without dragging out CI.
+        const BATCH: u64 = 25;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += BATCH;
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_function_runs() {
+        let mut c = super::Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Offline stand-in for the `rand` crate: a deterministic xoshiro256++
+//! generator behind the small API surface this workspace uses
+//! (`rngs::SmallRng`, [`SeedableRng::seed_from_u64`], and the
+//! [`RngExt::random`]/[`RngExt::random_range`] extension methods).
+
+use std::ops::Range;
+
+/// Core trait: a source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of generators from seed material.
+pub trait SeedableRng: Sized {
+    /// Deterministically builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling of a value of type `T` from a generator.
+pub trait SampleUniform: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleUniform for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl SampleUniform for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl SampleUniform for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl SampleUniform for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Convenience extension methods, mirroring rand's `Rng`.
+pub trait RngExt: RngCore {
+    /// Draws a uniformly distributed value of type `T`.
+    fn random<T: SampleUniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a `u64` uniformly from `range` (rejection sampling, unbiased).
+    fn random_range(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        if span.is_power_of_two() {
+            return range.start + (self.next_u64() & (span - 1));
+        }
+        // Reject the tail that would bias the modulus.
+        let zone = u64::MAX - (u64::MAX % span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return range.start + v % span;
+            }
+        }
+    }
+
+    /// Draws `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Alias matching rand's `Rng` name.
+pub use self::RngExt as Rng;
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.random_range(3..17);
+            assert!((3..17).contains(&v));
+        }
+        let f: f64 = r.random();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}
