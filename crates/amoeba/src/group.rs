@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use bytes::{BufMut, Bytes, BytesMut};
 use desim::trace::{Layer, Phase};
-use desim::{Ctx, RecvTimeoutError, SimChannel, SimDuration, SwitchCharge};
+use desim::{Ctx, RecvTimeoutError, SimChannel, SimDuration, SimTime, SwitchCharge};
 use ethernet::McastAddr;
 use flip::{FlipAddr, FlipMessage};
 use parking_lot::Mutex;
@@ -76,6 +76,13 @@ pub struct GroupConfig {
     /// A member reports its delivery progress to the sequencer after this
     /// many deliveries (history flow control).
     pub status_interval: u64,
+    /// Number of transmissions a `grp_send` attempts before giving up.
+    pub send_retries: u32,
+    /// Sequencer-driven laggard resync: while any member is known to lag,
+    /// the sequencer resends missing history every interval. `ZERO`
+    /// disables it entirely (the historical behavior): no resync daemon
+    /// activity, no prompt status reports, bit-identical fault-free traces.
+    pub resync_interval: SimDuration,
 }
 
 impl Default for GroupConfig {
@@ -87,6 +94,8 @@ impl Default for GroupConfig {
             send_timeout: SimDuration::from_millis(400),
             gap_poll: SimDuration::from_millis(20),
             status_interval: 20,
+            send_retries: 6,
+            resync_interval: SimDuration::ZERO,
         }
     }
 }
@@ -225,6 +234,7 @@ struct MemberState {
     send_waiters: HashMap<u64, SimChannel<u64>>,
     next_msg_id: u64,
     since_status: u64,
+    last_status_at: SimTime,
     last_gap_request: u64,
 }
 
@@ -258,6 +268,7 @@ pub struct GroupMember {
     my_id: u32,
     state: Arc<Mutex<GroupState>>,
     inbox: SimChannel<GroupMessage>,
+    resync_wake: SimChannel<()>,
 }
 
 impl fmt::Debug for GroupMember {
@@ -287,6 +298,7 @@ impl GroupMember {
                 send_waiters: HashMap::new(),
                 next_msg_id: 1,
                 since_status: 0,
+                last_status_at: SimTime::ZERO,
                 last_gap_request: 0,
             },
             seq: is_seq.then(|| SeqState {
@@ -304,6 +316,7 @@ impl GroupMember {
             my_id,
             state,
             inbox: SimChannel::new(),
+            resync_wake: SimChannel::new(),
         };
         let h1 = member.clone();
         machine.register_kernel_handler(
@@ -424,12 +437,12 @@ impl GroupMember {
                 + cost.kernel_packet_send * wire_frags,
         );
         let mut result = Err(GroupError::Timeout);
-        for attempt in 0..6 {
+        for attempt in 0..cfg.send_retries {
             if attempt > 0 {
                 ctx.trace_instant(
                     Layer::Group,
                     "retransmit",
-                    &[("msg_id", msg_id), ("attempt", attempt)],
+                    &[("msg_id", msg_id), ("attempt", u64::from(attempt))],
                 );
                 ctx.trace_cost(
                     Layer::Group,
@@ -705,6 +718,8 @@ impl GroupMember {
                         .ooo
                         .insert(header.seqno, (header.sender, header.msg_id, body));
                     st.member.accepts.remove(&header.seqno);
+                } else {
+                    self.stale_seq_status(ctx, st, outs);
                 }
                 self.try_deliver(ctx, st, deliveries, delivered_bytes, outs);
                 self.request_gap_fill(st, outs);
@@ -717,6 +732,8 @@ impl GroupMember {
                     } else {
                         st.member.accepts.insert(header.seqno, key);
                     }
+                } else {
+                    self.stale_seq_status(ctx, st, outs);
                 }
                 self.try_deliver(ctx, st, deliveries, delivered_bytes, outs);
                 self.request_gap_fill(st, outs);
@@ -819,6 +836,137 @@ impl GroupMember {
             st.member.ooo.insert(s, (sender, msg_id, payload));
             st.member.accepts.remove(&s);
         }
+        if !cfg.resync_interval.is_zero() {
+            let _ = self.resync_wake.send(ctx, ());
+        }
+    }
+
+    /// A stale (already-delivered) Seq/Accept means the sequencer resent
+    /// history we did not need: report our true progress so its resync
+    /// stops targeting us. Throttled; only active when resync is enabled.
+    fn stale_seq_status(&self, ctx: &Ctx, st: &mut GroupState, outs: &mut Vec<WireOut>) {
+        if self.spec.config.resync_interval.is_zero() || self.is_sequencer() {
+            return;
+        }
+        let now = ctx.now();
+        if now.saturating_duration_since(st.member.last_status_at) < SimDuration::from_millis(1) {
+            return;
+        }
+        st.member.since_status = 0;
+        st.member.last_status_at = now;
+        let wire = Header {
+            kind: Kind::Status,
+            sender: self.my_id,
+            msg_id: 0,
+            seqno: 0,
+            piggyback: st.member.next_deliver - 1,
+        }
+        .encode_with(&[]);
+        outs.push(WireOut::Unicast(self.spec.sequencer_addr(), wire));
+    }
+
+    /// The sequencer's laggard-resync daemon body (kernel thread). Spawn on
+    /// the sequencer machine when `config.resync_interval` is non-zero:
+    /// while any member is known to lag behind the history tip, missing
+    /// entries are resent every interval; when nobody lags the daemon
+    /// blocks until the next sequence number is assigned, so a quiesced
+    /// group generates no traffic and no timer events.
+    pub fn run_resync_daemon(&self, ctx: &Ctx) {
+        let interval = self.spec.config.resync_interval;
+        if interval.is_zero() || !self.is_sequencer() {
+            return;
+        }
+        loop {
+            let lagging = {
+                let st = self.state.lock();
+                let seq = st.seq.as_ref().expect("sequencer state");
+                seq.delivered.iter().copied().min().unwrap_or(0) + 1 < seq.next_seq
+            };
+            if lagging {
+                match self.resync_wake.recv_timeout(ctx, interval) {
+                    Ok(()) => continue,
+                    Err(RecvTimeoutError::Timeout) => self.resync_laggards(ctx),
+                    Err(RecvTimeoutError::Closed) => return,
+                }
+            } else {
+                match self.resync_wake.recv(ctx) {
+                    Some(()) => continue,
+                    None => return,
+                }
+            }
+        }
+    }
+
+    /// One resync round: resend missing history to each laggard, bounded by
+    /// `retrans_chunk` and a per-member byte budget per round so the
+    /// backstop can never flood the wire. The duplicates a wrong guess
+    /// causes prompt the member to report its true progress, which stops
+    /// the resync.
+    fn resync_laggards(&self, ctx: &Ctx) {
+        let cost = self.machine.cost().clone();
+        let mut outs: Vec<WireOut> = Vec::new();
+        {
+            let st = self.state.lock();
+            let seq = st.seq.as_ref().expect("sequencer state");
+            let top = seq.next_seq;
+            for (m, &d) in seq.delivered.iter().enumerate() {
+                if d + 1 >= top || m == self.spec.sequencer {
+                    continue;
+                }
+                ctx.trace_instant(
+                    Layer::Group,
+                    "resync",
+                    &[("member", m as u64), ("from_seq", d + 1)],
+                );
+                let to = (d + 1 + self.spec.config.retrans_chunk).min(top);
+                let mut budget: usize = 8192;
+                let mut sent_any = false;
+                for s in (d + 1)..to {
+                    let Some((snd, mid, data)) = seq.history.get(&s) else {
+                        continue;
+                    };
+                    let big = data.len() > self.spec.config.bb_threshold;
+                    // The member still holds data it sent itself: a small
+                    // accept suffices instead of re-flooding the payload.
+                    let wire = if big && *snd == m as u32 {
+                        Header {
+                            kind: Kind::Accept,
+                            sender: *snd,
+                            msg_id: *mid,
+                            seqno: s,
+                            piggyback: 0,
+                        }
+                        .encode_with(&[])
+                    } else {
+                        // The first resend is exempt from the byte budget:
+                        // it is what repairs a genuinely lost message.
+                        if sent_any && data.len() > budget {
+                            break;
+                        }
+                        budget = budget.saturating_sub(data.len());
+                        Header {
+                            kind: Kind::Seq,
+                            sender: *snd,
+                            msg_id: *mid,
+                            seqno: s,
+                            piggyback: 0,
+                        }
+                        .encode_with(data)
+                    };
+                    sent_any = true;
+                    outs.push(WireOut::Unicast(self.spec.member_addrs[m], wire));
+                }
+            }
+        }
+        for out in outs {
+            let WireOut::Unicast(dst, wire) = out else {
+                unreachable!("resync only unicasts")
+            };
+            let c = cost.kernel_packet_send * fragments_of(wire.len());
+            ctx.trace_cost(Layer::Group, "kernel_packet_send", c);
+            ctx.compute(c);
+            self.send_unicast_raw(ctx, dst, wire);
+        }
     }
 
     fn trim_history(seq: &mut SeqState, max: usize) {
@@ -885,8 +1033,22 @@ impl GroupMember {
             st.member.next_deliver += 1;
             st.member.since_status += 1;
         }
-        if st.member.since_status >= self.spec.config.status_interval && !self.is_sequencer() {
+        // Report progress when the interval passes or, with resync enabled,
+        // promptly (throttled) once the member is fully caught up — without
+        // the prompt report an idle stretch makes the sequencer believe
+        // members lag and its resync resends history nobody needs.
+        let caught_up = st.member.ooo.is_empty() && st.member.accepts.is_empty();
+        let prompt_due = !self.spec.config.resync_interval.is_zero()
+            && caught_up
+            && st.member.since_status > 0
+            && ctx
+                .now()
+                .saturating_duration_since(st.member.last_status_at)
+                >= SimDuration::from_millis(10);
+        let due = st.member.since_status >= self.spec.config.status_interval || prompt_due;
+        if due && !self.is_sequencer() {
             st.member.since_status = 0;
+            st.member.last_status_at = ctx.now();
             let wire = Header {
                 kind: Kind::Status,
                 sender: self.my_id,

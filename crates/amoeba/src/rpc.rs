@@ -158,6 +158,12 @@ enum CacheEntry {
 
 struct ServerState {
     cache: HashMap<(FlipAddr, u64), CacheEntry>,
+    /// Highest acknowledged (fully completed) sequence number per client.
+    /// Client sequence numbers increase monotonically, so a request at or
+    /// below the watermark is a stale duplicate whose retransmission was
+    /// still in flight when the ack cleared its cache entry — re-executing
+    /// it would break at-most-once semantics.
+    completed: HashMap<FlipAddr, u64>,
 }
 
 /// A kernel-registered RPC service; server threads block in
@@ -195,6 +201,7 @@ impl RpcServer {
         let queue: SimChannel<(Bytes, ReplyToken)> = SimChannel::new();
         let state = Arc::new(Mutex::new(ServerState {
             cache: HashMap::new(),
+            completed: HashMap::new(),
         }));
         let server = RpcServer {
             machine: machine.clone(),
@@ -221,6 +228,11 @@ impl RpcServer {
                 let key = (header.client, header.seq);
                 let resend = {
                     let mut st = self.state.lock();
+                    if st.completed.get(&header.client).copied().unwrap_or(0) >= header.seq {
+                        ctx.trace_instant(Layer::Rpc, "dup_suppressed", &[("seq", header.seq)]);
+                        ctx.trace_instant(Layer::Rpc, "stale_request", &[("seq", header.seq)]);
+                        return;
+                    }
                     match st.cache.get(&key) {
                         None => {
                             st.cache.insert(key, CacheEntry::InProgress);
@@ -288,7 +300,10 @@ impl RpcServer {
                 }
             }
             Kind::Ack => {
-                self.state.lock().cache.remove(&(header.client, header.seq));
+                let mut st = self.state.lock();
+                st.cache.remove(&(header.client, header.seq));
+                let w = st.completed.entry(header.client).or_insert(0);
+                *w = (*w).max(header.seq);
             }
             Kind::Reply | Kind::Working => {} // not for the server side
         }

@@ -2,27 +2,15 @@
 //! at-most-once under loss, the same-thread reply restriction, totally
 //! ordered group communication, and the BB large-message method.
 
-use amoeba::{CostModel, GroupMember, GroupSpec, Machine, Port, RpcClient, RpcConfig, RpcServer};
+use amoeba::{GroupMember, GroupSpec, Machine, Port, RpcClient, RpcConfig, RpcServer};
 use bytes::Bytes;
+use chaos::testutil;
 use desim::{ms, Simulation};
-use ethernet::{MacAddr, NetConfig, Network};
+use ethernet::Network;
 
 fn boot_cluster(sim: &mut Simulation, n: u32) -> (Network, Vec<Machine>) {
-    let mut net = Network::new(NetConfig::default());
-    let seg = net.add_segment(sim, "s0");
-    let machines = (0..n)
-        .map(|i| {
-            Machine::boot(
-                sim,
-                &mut net,
-                seg,
-                MacAddr(i),
-                &format!("m{i}"),
-                CostModel::default(),
-            )
-        })
-        .collect();
-    (net, machines)
+    let w = testutil::boot_machines(sim, n);
+    (w.net, w.machines)
 }
 
 fn payload(n: usize) -> Bytes {

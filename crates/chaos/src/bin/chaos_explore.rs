@@ -1,0 +1,131 @@
+//! `chaos-explore` — the seed-sweeping chaos explorer.
+//!
+//! Sweep mode (default): run randomized fault plans for many seeds on both
+//! Panda stacks, checking protocol invariants after every run. Exit code 1
+//! if any seed fails or any determinism spot-check diverges.
+//!
+//! Single-seed mode (`--seed N`): run one seed twice, print the fault plan,
+//! outcome, violations, and both trace hashes.
+//!
+//! ```text
+//! chaos-explore [--seeds N] [--seed-start N] [--seed N]
+//!               [--stack kernel|user|user-dedicated|both]
+//!               [--rpcs N] [--broadcasts N] [--max-virtual-ms N]
+//!               [--verify-every N] [--no-minimize] [--verbose]
+//! ```
+
+use std::process::ExitCode;
+
+use chaos::explore::{explore, repro_command, ExploreOptions};
+use chaos::{run_chaos, ChaosConfig, Stack};
+use desim::SimDuration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: chaos-explore [--seeds N] [--seed-start N] [--seed N]\n\
+         \u{20}                    [--stack kernel|user|user-dedicated|both]\n\
+         \u{20}                    [--rpcs N] [--broadcasts N] [--max-virtual-ms N]\n\
+         \u{20}                    [--verify-every N] [--no-minimize] [--verbose]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64(v: Option<String>) -> u64 {
+    match v.and_then(|s| s.parse().ok()) {
+        Some(n) => n,
+        None => usage(),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut opts = ExploreOptions::default();
+    let mut single_seed: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => opts.seeds = parse_u64(args.next()),
+            "--seed-start" => opts.seed_start = parse_u64(args.next()),
+            "--seed" => single_seed = Some(parse_u64(args.next())),
+            "--stack" => {
+                opts.stacks = match args.next().as_deref() {
+                    Some("kernel") => vec![Stack::Kernel],
+                    Some("user") => vec![Stack::User],
+                    Some("user-dedicated") => vec![Stack::UserDedicated],
+                    Some("both") => vec![Stack::Kernel, Stack::User],
+                    _ => usage(),
+                }
+            }
+            "--rpcs" => opts.rpcs = parse_u64(args.next()),
+            "--broadcasts" => opts.broadcasts = parse_u64(args.next()),
+            "--max-virtual-ms" => {
+                opts.max_virtual = SimDuration::from_millis(parse_u64(args.next()))
+            }
+            "--verify-every" => opts.verify_every = parse_u64(args.next()),
+            "--no-minimize" => opts.minimize = false,
+            "--verbose" => opts.verbose = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    if let Some(seed) = single_seed {
+        let mut failed = false;
+        for &stack in &opts.stacks {
+            let cfg =
+                ChaosConfig::for_seed(stack, seed, opts.rpcs, opts.broadcasts, opts.max_virtual);
+            println!("stack {}, seed {seed}, fault plan:", stack.name());
+            print!("{}", cfg.plan);
+            let a = run_chaos(&cfg);
+            let b = run_chaos(&cfg);
+            println!(
+                "  outcome: {:.2} ms, {} events, rpc {}/{} ok, broadcasts {} ok, \
+                 recovery traffic {}",
+                a.final_time_ns as f64 / 1e6,
+                a.events,
+                a.rpc_ok,
+                cfg.rpcs,
+                a.bcast_ok,
+                a.recovery_traffic
+            );
+            println!(
+                "  trace hash: {:016x} (re-run: {:016x})",
+                a.trace_hash, b.trace_hash
+            );
+            if a.trace_hash != b.trace_hash {
+                println!("  NONDETERMINISTIC");
+                failed = true;
+            }
+            if a.violations.is_empty() {
+                println!("  invariants: all hold");
+            } else {
+                failed = true;
+                println!("  violations:");
+                for v in &a.violations {
+                    println!("    - {v}");
+                }
+                println!("  repro: {}", repro_command(&cfg));
+            }
+        }
+        return if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    let summary = explore(&opts);
+    println!(
+        "chaos-explore: {} runs, {} failures, {} nondeterministic, \
+         {} null plans, recovery traffic {}",
+        summary.runs,
+        summary.failures.len(),
+        summary.nondeterministic.len(),
+        summary.null_plans,
+        summary.recovery_traffic
+    );
+    if summary.failures.is_empty() && summary.nondeterministic.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,193 @@
+//! The seed sweep: run many fault plans, report failures with a one-line
+//! repro command and a minimized plan, and spot-check determinism by
+//! re-running a sample of seeds.
+
+use desim::SimDuration;
+
+use crate::engine::{run_chaos, ChaosConfig, ChaosOutcome};
+use crate::plan::FaultPlan;
+use crate::testutil::Stack;
+
+/// What to sweep.
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Stacks to run every seed on.
+    pub stacks: Vec<Stack>,
+    /// Number of seeds per stack.
+    pub seeds: u64,
+    /// First seed (sweep covers `seed_start..seed_start + seeds`).
+    pub seed_start: u64,
+    /// RPCs per run.
+    pub rpcs: u64,
+    /// Broadcasts per run.
+    pub broadcasts: u64,
+    /// Virtual-time budget per run.
+    pub max_virtual: SimDuration,
+    /// Every Nth seed is run twice and the two trace hashes compared
+    /// (0 disables the determinism spot-check).
+    pub verify_every: u64,
+    /// Attempt greedy plan minimization for failing seeds.
+    pub minimize: bool,
+    /// Print per-run progress lines.
+    pub verbose: bool,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            stacks: vec![Stack::Kernel, Stack::User],
+            seeds: 1000,
+            seed_start: 0,
+            rpcs: 10,
+            broadcasts: 8,
+            max_virtual: SimDuration::from_millis(500),
+            verify_every: 50,
+            minimize: true,
+            verbose: false,
+        }
+    }
+}
+
+/// One failing seed, with everything needed to reproduce and understand it.
+#[derive(Debug, Clone)]
+pub struct FailureReport {
+    /// The failing configuration.
+    pub config: ChaosConfig,
+    /// The violations observed.
+    pub violations: Vec<String>,
+    /// The minimized plan (equal to the original if minimization is off or
+    /// nothing could be removed).
+    pub minimized: FaultPlan,
+}
+
+/// Sweep totals.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreSummary {
+    /// Runs completed (excluding determinism re-runs).
+    pub runs: u64,
+    /// Sum of recovery-traffic counters across runs (sanity signal that
+    /// faults actually bit).
+    pub recovery_traffic: u64,
+    /// Runs whose plan was null (nothing injected).
+    pub null_plans: u64,
+    /// Failing seeds.
+    pub failures: Vec<FailureReport>,
+    /// Seeds whose determinism spot-check found diverging trace hashes.
+    pub nondeterministic: Vec<(Stack, u64)>,
+}
+
+/// The one-line command that reproduces a single run.
+pub fn repro_command(cfg: &ChaosConfig) -> String {
+    format!(
+        "cargo run --release -p chaos --bin chaos-explore -- --stack {} --seed {} \
+         --rpcs {} --broadcasts {} --max-virtual-ms {}",
+        cfg.stack.name(),
+        cfg.seed,
+        cfg.rpcs,
+        cfg.broadcasts,
+        cfg.max_virtual.as_millis_f64().round() as u64
+    )
+}
+
+/// Greedily minimizes a failing plan: repeatedly adopt any single-step
+/// simplification that still fails, until none does.
+pub fn minimize(cfg: &ChaosConfig) -> FaultPlan {
+    let mut best = cfg.plan.clone();
+    loop {
+        let mut improved = false;
+        for (_desc, candidate) in best.simplifications() {
+            let mut c = cfg.clone();
+            c.plan = candidate.clone();
+            if !run_chaos(&c).violations.is_empty() {
+                best = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+fn run_one(opts: &ExploreOptions, stack: Stack, seed: u64) -> (ChaosConfig, ChaosOutcome) {
+    let cfg = ChaosConfig::for_seed(stack, seed, opts.rpcs, opts.broadcasts, opts.max_virtual);
+    let outcome = run_chaos(&cfg);
+    (cfg, outcome)
+}
+
+/// Runs the sweep, printing progress and failures to stdout.
+pub fn explore(opts: &ExploreOptions) -> ExploreSummary {
+    let mut summary = ExploreSummary::default();
+    for &stack in &opts.stacks {
+        println!(
+            "chaos-explore: stack {}, seeds {}..{}",
+            stack.name(),
+            opts.seed_start,
+            opts.seed_start + opts.seeds
+        );
+        let mut pass = 0u64;
+        for seed in opts.seed_start..opts.seed_start + opts.seeds {
+            let (cfg, outcome) = run_one(opts, stack, seed);
+            summary.runs += 1;
+            summary.recovery_traffic += outcome.recovery_traffic;
+            if cfg.plan.is_null() {
+                summary.null_plans += 1;
+            }
+            if opts.verbose {
+                println!(
+                    "  seed {seed}: hash {:016x}, {:.2} ms, {} events, \
+                     rpc {}/{}, recovery {}",
+                    outcome.trace_hash,
+                    outcome.final_time_ns as f64 / 1e6,
+                    outcome.events,
+                    outcome.rpc_ok,
+                    cfg.rpcs,
+                    outcome.recovery_traffic
+                );
+            }
+            if outcome.violations.is_empty() {
+                pass += 1;
+            } else {
+                println!(
+                    "  seed {seed} FAILED ({} violations):",
+                    outcome.violations.len()
+                );
+                for v in &outcome.violations {
+                    println!("    - {v}");
+                }
+                println!("    repro: {}", repro_command(&cfg));
+                let minimized = if opts.minimize {
+                    let m = minimize(&cfg);
+                    println!("    minimized fault plan:");
+                    print!("{m}");
+                    m
+                } else {
+                    cfg.plan.clone()
+                };
+                summary.failures.push(FailureReport {
+                    config: cfg,
+                    violations: outcome.violations.clone(),
+                    minimized,
+                });
+            }
+            if opts.verify_every > 0 && (seed - opts.seed_start).is_multiple_of(opts.verify_every) {
+                let (_, again) = run_one(opts, stack, seed);
+                if again.trace_hash != outcome.trace_hash {
+                    println!(
+                        "  seed {seed} NONDETERMINISTIC: {:016x} vs {:016x}",
+                        outcome.trace_hash, again.trace_hash
+                    );
+                    summary.nondeterministic.push((stack, seed));
+                }
+            }
+        }
+        println!(
+            "  {} passed / {} seeds ({} failures)",
+            pass,
+            opts.seeds,
+            opts.seeds - pass
+        );
+    }
+    summary
+}

@@ -1,0 +1,287 @@
+//! Seeded fault-plan generation and minimization.
+//!
+//! A [`FaultPlan`] is the complete description of the adversity one chaos
+//! run faces: probabilistic frame faults, timed partition/crash windows,
+//! and an optional scheduler perturbation seed. The engine confines every
+//! fault — probabilistic and timed alike — to the run's *fault horizon*
+//! (the first 40% of the virtual-time budget), so the remainder of the
+//! budget is clean network time in which recovery must converge.
+//! Plans are generated deterministically from a seed with a dedicated RNG
+//! (separate from the simulation's protocol-visible RNG), so `seed` →
+//! `plan` → `execution` is one reproducible pipeline.
+
+use std::fmt;
+
+use desim::SimDuration;
+use ethernet::{FaultState, GilbertElliott, MacAddr};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// What a timed fault does while its window is open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimedKind {
+    /// Sever the link between two machines (both directions).
+    Partition(MacAddr, MacAddr),
+    /// Take a machine's NIC off the network (crash); the window's end is
+    /// the reboot.
+    Crash(MacAddr),
+}
+
+/// A fault active during `[at, until)` of virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedFault {
+    /// Window start.
+    pub at: SimDuration,
+    /// Window end (heal / reboot).
+    pub until: SimDuration,
+    /// What happens during the window.
+    pub kind: TimedKind,
+}
+
+/// A complete, reproducible description of one run's adversity.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Per-receiver delivery loss probability.
+    pub rx_loss_prob: f64,
+    /// Wire-level (all receivers) loss probability.
+    pub wire_loss_prob: f64,
+    /// Per-delivery duplication probability.
+    pub dup_prob: f64,
+    /// Per-delivery reorder (hold-back) probability.
+    pub reorder_prob: f64,
+    /// Maximum frames a held delivery waits behind.
+    pub reorder_span: u64,
+    /// Optional Gilbert–Elliott burst-loss channel.
+    pub gilbert: Option<GilbertElliott>,
+    /// Timed partition / crash windows.
+    pub timed: Vec<TimedFault>,
+    /// Seed for same-instant scheduler-pick shuffling, if enabled.
+    pub sched_perturb: Option<u64>,
+}
+
+impl FaultPlan {
+    /// Generates the plan for `seed`, targeting `n_machines` machines with
+    /// MACs `0..n_machines`. All timed windows open and close within
+    /// `horizon`, so the network is fully healed well before a run's
+    /// virtual-time budget expires.
+    pub fn generate(seed: u64, n_machines: u32, horizon: SimDuration) -> FaultPlan {
+        // Offset the seed so plan randomness never mirrors the simulation's
+        // protocol-visible RNG stream (both are SmallRng).
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xc4a0_5eed_0dd5_eed0);
+        let mut plan = FaultPlan::default();
+        if rng.random::<f64>() < 0.7 {
+            plan.rx_loss_prob = rng.random::<f64>() * 0.12;
+        }
+        if rng.random::<f64>() < 0.4 {
+            plan.wire_loss_prob = rng.random::<f64>() * 0.06;
+        }
+        if rng.random::<f64>() < 0.5 {
+            plan.dup_prob = rng.random::<f64>() * 0.15;
+        }
+        if rng.random::<f64>() < 0.5 {
+            plan.reorder_prob = rng.random::<f64>() * 0.20;
+            plan.reorder_span = 1 + rng.random_range(0..4);
+        }
+        if rng.random::<f64>() < 0.3 {
+            plan.gilbert = Some(GilbertElliott::new(
+                0.02 + rng.random::<f64>() * 0.08,
+                0.20 + rng.random::<f64>() * 0.40,
+                0.0,
+                0.30 + rng.random::<f64>() * 0.50,
+            ));
+        }
+
+        let h = horizon.as_nanos();
+        let ms = 1_000_000u64;
+        // At most one partition per pair and one crash per machine keeps
+        // the timed schedule free of overlapping apply/undo pairs.
+        let mut used_pairs: Vec<(u32, u32)> = Vec::new();
+        for _ in 0..2 {
+            if n_machines >= 2 && rng.random::<f64>() < 0.35 {
+                let a = rng.random_range(0..u64::from(n_machines)) as u32;
+                let mut b = rng.random_range(0..u64::from(n_machines) - 1) as u32;
+                if b >= a {
+                    b += 1;
+                }
+                let key = (a.min(b), a.max(b));
+                if used_pairs.contains(&key) {
+                    continue;
+                }
+                used_pairs.push(key);
+                let at = rng.random_range(0..h / 2);
+                let dur = 5 * ms + rng.random_range(0..55 * ms);
+                plan.timed.push(TimedFault {
+                    at: SimDuration::from_nanos(at),
+                    until: SimDuration::from_nanos((at + dur).min(h)),
+                    kind: TimedKind::Partition(MacAddr(key.0), MacAddr(key.1)),
+                });
+            }
+        }
+        let mut used_crash: Vec<u32> = Vec::new();
+        for round in 0..2 {
+            if rng.random::<f64>() < 0.35 {
+                // Bias the first candidate toward machine 0, which hosts the
+                // sequencer in both stacks' default configuration: sequencer
+                // crash/reboot is the scenario the group protocol fears most.
+                let m = if round == 0 && rng.random::<f64>() < 0.5 {
+                    0
+                } else {
+                    rng.random_range(0..u64::from(n_machines)) as u32
+                };
+                if used_crash.contains(&m) {
+                    continue;
+                }
+                used_crash.push(m);
+                let at = rng.random_range(0..h / 2);
+                let dur = 10 * ms + rng.random_range(0..70 * ms);
+                plan.timed.push(TimedFault {
+                    at: SimDuration::from_nanos(at),
+                    until: SimDuration::from_nanos((at + dur).min(h)),
+                    kind: TimedKind::Crash(MacAddr(m)),
+                });
+            }
+        }
+        if rng.random::<f64>() < 0.6 {
+            plan.sched_perturb = Some(seed ^ 0x9e37_79b9_7f4a_7c15);
+        }
+        plan
+    }
+
+    /// True if the plan injects nothing at all.
+    pub fn is_null(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+
+    /// Applies the probabilistic knobs to a network's [`FaultState`].
+    /// Timed faults — and the horizon-end [`clear_ambient`] that confines
+    /// these knobs to the fault window — are driven by the engine.
+    ///
+    /// [`clear_ambient`]: FaultPlan::clear_ambient
+    pub fn apply_static(&self, faults: &mut FaultState) {
+        faults.rx_loss_prob = self.rx_loss_prob;
+        faults.wire_loss_prob = self.wire_loss_prob;
+        faults.dup_prob = self.dup_prob;
+        faults.reorder_prob = self.reorder_prob;
+        faults.reorder_span = self.reorder_span;
+        faults.gilbert = self.gilbert.clone();
+    }
+
+    /// True if [`apply_static`](FaultPlan::apply_static) injects anything.
+    pub fn has_ambient(&self) -> bool {
+        self.rx_loss_prob > 0.0
+            || self.wire_loss_prob > 0.0
+            || self.dup_prob > 0.0
+            || self.reorder_prob > 0.0
+            || self.gilbert.is_some()
+    }
+
+    /// Zeroes the probabilistic knobs on a live [`FaultState`], leaving the
+    /// partition/crash state (owned by the timed driver) untouched. The
+    /// engine calls this when the fault horizon closes, so the rest of the
+    /// budget is clean time in which recovery must converge.
+    pub fn clear_ambient(faults: &mut FaultState) {
+        faults.rx_loss_prob = 0.0;
+        faults.wire_loss_prob = 0.0;
+        faults.dup_prob = 0.0;
+        faults.reorder_prob = 0.0;
+        faults.reorder_span = 0;
+        faults.gilbert = None;
+    }
+
+    /// Single-step simplifications of this plan, used for greedy
+    /// minimization of a failing plan: each candidate removes or zeroes one
+    /// ingredient. A minimal failing plan is one where no candidate still
+    /// fails.
+    pub fn simplifications(&self) -> Vec<(String, FaultPlan)> {
+        let mut out = Vec::new();
+        let mut push = |desc: &str, p: FaultPlan| out.push((desc.to_owned(), p));
+        if self.rx_loss_prob > 0.0 {
+            let mut p = self.clone();
+            p.rx_loss_prob = 0.0;
+            push("drop rx loss", p);
+        }
+        if self.wire_loss_prob > 0.0 {
+            let mut p = self.clone();
+            p.wire_loss_prob = 0.0;
+            push("drop wire loss", p);
+        }
+        if self.dup_prob > 0.0 {
+            let mut p = self.clone();
+            p.dup_prob = 0.0;
+            push("drop duplication", p);
+        }
+        if self.reorder_prob > 0.0 {
+            let mut p = self.clone();
+            p.reorder_prob = 0.0;
+            p.reorder_span = 0;
+            push("drop reordering", p);
+        }
+        if self.gilbert.is_some() {
+            let mut p = self.clone();
+            p.gilbert = None;
+            push("drop burst loss", p);
+        }
+        if self.sched_perturb.is_some() {
+            let mut p = self.clone();
+            p.sched_perturb = None;
+            push("drop schedule perturbation", p);
+        }
+        for i in 0..self.timed.len() {
+            let mut p = self.clone();
+            let t = p.timed.remove(i);
+            push(&format!("drop timed fault [{t:?}]"), p);
+        }
+        out
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            return writeln!(f, "  (no faults)");
+        }
+        if self.rx_loss_prob > 0.0 {
+            writeln!(f, "  rx_loss_prob    = {:.4}", self.rx_loss_prob)?;
+        }
+        if self.wire_loss_prob > 0.0 {
+            writeln!(f, "  wire_loss_prob  = {:.4}", self.wire_loss_prob)?;
+        }
+        if self.dup_prob > 0.0 {
+            writeln!(f, "  dup_prob        = {:.4}", self.dup_prob)?;
+        }
+        if self.reorder_prob > 0.0 {
+            writeln!(
+                f,
+                "  reorder_prob    = {:.4} (span {})",
+                self.reorder_prob, self.reorder_span
+            )?;
+        }
+        if let Some(ge) = &self.gilbert {
+            writeln!(
+                f,
+                "  gilbert-elliott = enter_bad {:.3}, exit_bad {:.3}, loss_bad {:.3}",
+                ge.p_enter_bad, ge.p_exit_bad, ge.loss_bad
+            )?;
+        }
+        for t in &self.timed {
+            match t.kind {
+                TimedKind::Partition(a, b) => writeln!(
+                    f,
+                    "  partition {a}<->{b} during [{:.2} ms, {:.2} ms)",
+                    t.at.as_millis_f64(),
+                    t.until.as_millis_f64()
+                )?,
+                TimedKind::Crash(m) => writeln!(
+                    f,
+                    "  crash {m} during [{:.2} ms, {:.2} ms)",
+                    t.at.as_millis_f64(),
+                    t.until.as_millis_f64()
+                )?,
+            }
+        }
+        if let Some(s) = self.sched_perturb {
+            writeln!(f, "  sched_perturb   = {s:#x}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,50 @@
+//! Engine smoke tests: a null plan must pass all invariants on both stacks,
+//! and single-ingredient plans must complete.
+
+use chaos::{run_chaos, ChaosConfig, FaultPlan, Stack};
+use desim::SimDuration;
+
+fn base(stack: Stack, plan: FaultPlan) -> ChaosConfig {
+    ChaosConfig {
+        stack,
+        seed: 7,
+        rpcs: 10,
+        broadcasts: 8,
+        max_virtual: SimDuration::from_millis(500),
+        plan,
+    }
+}
+
+#[test]
+fn null_plan_passes_kernel() {
+    let out = run_chaos(&base(Stack::Kernel, FaultPlan::default()));
+    assert_eq!(out.violations, Vec::<String>::new());
+    assert_eq!(out.rpc_ok, 10);
+}
+
+#[test]
+fn null_plan_passes_user() {
+    let out = run_chaos(&base(Stack::User, FaultPlan::default()));
+    assert_eq!(out.violations, Vec::<String>::new());
+    assert_eq!(out.rpc_ok, 10);
+}
+
+#[test]
+fn loss_only_plan_completes_user() {
+    let plan = FaultPlan {
+        rx_loss_prob: 0.08,
+        ..FaultPlan::default()
+    };
+    let out = run_chaos(&base(Stack::User, plan));
+    assert_eq!(out.violations, Vec::<String>::new());
+}
+
+#[test]
+fn perturb_only_plan_completes_user() {
+    let plan = FaultPlan {
+        sched_perturb: Some(42),
+        ..FaultPlan::default()
+    };
+    let out = run_chaos(&base(Stack::User, plan));
+    assert_eq!(out.violations, Vec::<String>::new());
+}

@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{ArgVec, Layer, Phase, TraceEvent, Tracer};
@@ -168,6 +168,11 @@ pub(crate) struct ProcRecord {
 
 struct Event {
     time: SimTime,
+    /// Perturbation tie-break: 0 unless schedule perturbation is enabled, in
+    /// which case it is a per-event draw from a dedicated seeded RNG. It is
+    /// ordered *after* `time` and *before* `seq`, so virtual time is never
+    /// violated — only the pick order among same-instant wakes is shuffled.
+    tie: u64,
     seq: u64,
     thread: ThreadId,
     wait_id: u64,
@@ -186,8 +191,10 @@ impl PartialOrd for Event {
 }
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+        // BinaryHeap is a max-heap; invert so the earliest (time, tie, seq)
+        // pops first. With perturbation off every `tie` is 0 and the order
+        // degenerates to the historical (time, seq) FIFO.
+        (other.time, other.tie, other.seq).cmp(&(self.time, self.tie, self.seq))
     }
 }
 
@@ -206,6 +213,11 @@ pub(crate) struct CoreState {
     pub events_processed: u64,
     pub shutdown: bool,
     pub rng: SmallRng,
+    /// When `Some`, draws one tie-break value per scheduled wake, shuffling
+    /// the pick order among same-instant ready threads (chaos testing). Kept
+    /// separate from `rng` so enabling it does not disturb protocol-visible
+    /// randomness, and `None` by default so it is zero-cost when off.
+    pub perturb: Option<SmallRng>,
     pub trace: Option<Vec<TraceEntry>>,
     pub trace_cap: usize,
     /// Structured tracer; `Some` iff `Core::trace_on` is `true`.
@@ -245,8 +257,13 @@ impl CoreState {
         debug_assert!(at >= self.now, "cannot schedule a wake in the past");
         let seq = self.seq;
         self.seq += 1;
+        let tie = match self.perturb.as_mut() {
+            Some(rng) => rng.random(),
+            None => 0,
+        };
         self.queue.push(Event {
             time: at,
+            tie,
             seq,
             thread,
             wait_id,
@@ -302,6 +319,7 @@ impl Core {
                 events_processed: 0,
                 shutdown: false,
                 rng: SmallRng::seed_from_u64(seed),
+                perturb: None,
                 trace: None,
                 trace_cap: 100_000,
                 tracer: None,

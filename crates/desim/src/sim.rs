@@ -180,6 +180,22 @@ impl Simulation {
         self.max_events = Some(limit);
     }
 
+    /// Enables seeded scheduler perturbation: among wake events scheduled
+    /// for the *same* virtual instant, the pick order is shuffled by a
+    /// dedicated RNG seeded with `seed` instead of following insertion
+    /// order. Virtual time is never violated, the perturbation is fully
+    /// deterministic per seed, and the protocol-visible RNG (seeded by
+    /// [`Simulation::new`]) is untouched. Call before spawning threads so
+    /// even the initial start order is covered.
+    ///
+    /// This is a chaos-testing hook: correct protocols must not depend on
+    /// the scheduler's same-instant FIFO order.
+    pub fn set_schedule_perturbation(&mut self, seed: u64) {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        self.core.state.lock().perturb = Some(SmallRng::seed_from_u64(seed));
+    }
+
     /// Adds a processor (one CPU) and returns its id.
     pub fn add_processor(&mut self, name: &str) -> ProcId {
         self.core.add_processor(name, self.default_switch_cost)

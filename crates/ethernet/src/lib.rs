@@ -18,4 +18,4 @@ mod network;
 pub use frame::{
     Dest, Frame, MacAddr, McastAddr, FRAME_OVERHEAD_BYTES, MAX_PAYLOAD_BYTES, MIN_PAYLOAD_BYTES,
 };
-pub use network::{FaultState, NetConfig, Network, Nic, SegmentId, SegmentStats};
+pub use network::{FaultState, GilbertElliott, NetConfig, Network, Nic, SegmentId, SegmentStats};

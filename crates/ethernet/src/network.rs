@@ -47,7 +47,47 @@ impl Default for NetConfig {
     }
 }
 
+/// A two-state Gilbert–Elliott burst-loss model: the wire alternates between
+/// a *good* and a *bad* state with per-frame transition probabilities, and
+/// each state has its own loss rate. Captures correlated loss bursts that
+/// independent per-frame coin flips cannot produce.
+///
+/// The state advances once per frame transmitted on the medium; the effective
+/// wire-loss probability of a frame is the maximum of the current state's
+/// loss rate and [`FaultState::wire_loss_prob`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GilbertElliott {
+    /// Per-frame probability of transitioning good → bad.
+    pub p_enter_bad: f64,
+    /// Per-frame probability of transitioning bad → good.
+    pub p_exit_bad: f64,
+    /// Loss probability while in the good state (usually 0 or small).
+    pub loss_good: f64,
+    /// Loss probability while in the bad state (usually large).
+    pub loss_bad: f64,
+    /// Current channel state (`true` = bad). Starts good.
+    pub bad: bool,
+}
+
+impl GilbertElliott {
+    /// A model starting in the good state.
+    pub fn new(p_enter_bad: f64, p_exit_bad: f64, loss_good: f64, loss_bad: f64) -> Self {
+        GilbertElliott {
+            p_enter_bad,
+            p_exit_bad,
+            loss_good,
+            loss_bad,
+            bad: false,
+        }
+    }
+}
+
 /// Runtime-adjustable fault injection knobs (see [`Network::faults`]).
+///
+/// Every knob defaults to "off", and fault code draws from the simulation
+/// RNG only when the corresponding knob is active — so a default
+/// `FaultState` leaves the schedule bit-identical to a build without fault
+/// injection (the zero-cost discipline the golden-trace tests pin).
 #[derive(Debug, Clone, Default)]
 pub struct FaultState {
     /// Probability that a frame is lost on the wire (all receivers miss it).
@@ -57,6 +97,94 @@ pub struct FaultState {
     /// Unconditionally drop this many upcoming frames (wire-level), then
     /// resume normal behaviour. Useful for targeted recovery tests.
     pub force_drop_next: u64,
+    /// Probability that a delivered frame is delivered *twice* to the same
+    /// receiver (duplicate generation, e.g. a confused repeater).
+    pub dup_prob: f64,
+    /// Probability that an individual delivery is held back and released
+    /// only after later frames have been carried (reordering/jitter).
+    pub reorder_prob: f64,
+    /// Maximum number of subsequent carried frames a held delivery waits
+    /// behind (the actual hold is uniform in `1..=reorder_span`); `0` is
+    /// treated as `1`.
+    pub reorder_span: u64,
+    /// Optional burst-loss channel model layered over `wire_loss_prob`.
+    pub gilbert: Option<GilbertElliott>,
+    /// Severed links: frames between a partitioned pair are dropped at the
+    /// receiver side, in both directions. Keyed by normalized MAC pairs.
+    partitions: HashSet<(MacAddr, MacAddr)>,
+    /// Crashed machines: their NIC neither transmits nor receives. Protocol
+    /// state above the NIC survives (fail-recover), so a reboot forces the
+    /// stacks through their retransmission / gap-repair / resync paths.
+    down: HashSet<MacAddr>,
+}
+
+fn pair_key(a: MacAddr, b: MacAddr) -> (MacAddr, MacAddr) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl FaultState {
+    /// Severs the link between `a` and `b` (both directions).
+    pub fn partition(&mut self, a: MacAddr, b: MacAddr) {
+        self.partitions.insert(pair_key(a, b));
+    }
+
+    /// Restores the link between `a` and `b`.
+    pub fn heal(&mut self, a: MacAddr, b: MacAddr) {
+        self.partitions.remove(&pair_key(a, b));
+    }
+
+    /// Restores all severed links.
+    pub fn heal_all(&mut self) {
+        self.partitions.clear();
+    }
+
+    /// True if the link between `a` and `b` is currently severed.
+    pub fn is_partitioned(&self, a: MacAddr, b: MacAddr) -> bool {
+        self.partitions.contains(&pair_key(a, b))
+    }
+
+    /// Takes `mac`'s NIC off the network: nothing it sends reaches the wire
+    /// and nothing addressed to it is delivered, until [`FaultState::reboot`].
+    pub fn crash(&mut self, mac: MacAddr) {
+        self.down.insert(mac);
+    }
+
+    /// Brings a crashed machine's NIC back onto the network.
+    pub fn reboot(&mut self, mac: MacAddr) {
+        self.down.remove(&mac);
+    }
+
+    /// True if `mac`'s NIC is currently off the network.
+    pub fn is_down(&self, mac: MacAddr) -> bool {
+        self.down.contains(&mac)
+    }
+
+    /// Number of currently severed links.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Number of currently crashed machines.
+    pub fn down_count(&self) -> usize {
+        self.down.len()
+    }
+
+    /// True if any fault knob is active (used by tests asserting a plan
+    /// really was cleaned up before the end of a run).
+    pub fn any_active(&self) -> bool {
+        self.wire_loss_prob > 0.0
+            || self.rx_loss_prob > 0.0
+            || self.force_drop_next > 0
+            || self.dup_prob > 0.0
+            || self.reorder_prob > 0.0
+            || self.gilbert.is_some()
+            || !self.partitions.is_empty()
+            || !self.down.is_empty()
+    }
 }
 
 /// Cumulative per-segment counters.
@@ -72,6 +200,16 @@ pub struct SegmentStats {
     pub wire_drops: u64,
     /// Per-receiver deliveries dropped (fault injection).
     pub rx_drops: u64,
+    /// Frames a crashed sender's NIC never put on the wire.
+    pub down_tx_drops: u64,
+    /// Per-receiver deliveries suppressed because the link was partitioned
+    /// or the destination machine was down.
+    pub link_drops: u64,
+    /// Extra deliveries generated by frame duplication.
+    pub dup_deliveries: u64,
+    /// Deliveries held back for reordering (each later released or, if the
+    /// receiver became unreachable meanwhile, counted into `link_drops`).
+    pub held_deliveries: u64,
 }
 
 impl SegmentStats {
@@ -92,12 +230,22 @@ struct Attachment {
     rx: SimChannel<Frame>,
 }
 
+/// A delivery held back by reorder injection: released onto its receiver's
+/// queue after `remaining` more frames have crossed the medium.
+struct HeldDelivery {
+    remaining: u64,
+    rx: SimChannel<Frame>,
+    dst_mac: Option<MacAddr>,
+    frame: Frame,
+}
+
 struct SegmentInner {
     #[allow(dead_code)]
     name: String,
     tx: SimChannel<Frame>,
     attachments: Vec<Attachment>,
     stats: SegmentStats,
+    held: Vec<HeldDelivery>,
 }
 
 struct NetInner {
@@ -195,6 +343,7 @@ impl Network {
                 tx: tx.clone(),
                 attachments: Vec::new(),
                 stats: SegmentStats::default(),
+                held: Vec::new(),
             });
             id
         };
@@ -278,13 +427,31 @@ impl Network {
             total.busy += s.stats.busy;
             total.wire_drops += s.stats.wire_drops;
             total.rx_drops += s.stats.rx_drops;
+            total.down_tx_drops += s.stats.down_tx_drops;
+            total.link_drops += s.stats.link_drops;
+            total.dup_deliveries += s.stats.dup_deliveries;
+            total.held_deliveries += s.stats.held_deliveries;
         }
         total
+    }
+
+    /// Deliveries currently held back by reorder injection, across all
+    /// segments (in-flight from the conservation invariant's point of view).
+    pub fn held_pending(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.segments.iter().map(|s| s.held.len() as u64).sum()
     }
 
     fn segment_daemon(&self, ctx: &Ctx, id: SegmentId) {
         let tx = self.inner.lock().segments[id.0].tx.clone();
         while let Some(frame) = tx.recv(ctx) {
+            // A crashed sender's NIC transmits nothing: the frame vanishes
+            // before it touches the medium (no busy time, no wire drop).
+            if self.faults.lock().is_down(frame.src) {
+                self.inner.lock().segments[id.0].stats.down_tx_drops += 1;
+                ctx.trace_instant(Layer::Net, "down_drop", &[("src", u64::from(frame.src.0))]);
+                continue;
+            }
             let wire = self.wire_time(&frame);
             ctx.trace_emit(
                 Layer::Net,
@@ -303,7 +470,21 @@ impl Network {
                     faults.force_drop_next -= 1;
                     true
                 } else {
-                    let p = faults.wire_loss_prob;
+                    let mut p = faults.wire_loss_prob;
+                    if let Some(ge) = faults.gilbert.as_mut() {
+                        // The channel state advances once per frame carried
+                        // on the medium.
+                        let flip = if ge.bad {
+                            ge.p_exit_bad
+                        } else {
+                            ge.p_enter_bad
+                        };
+                        if flip > 0.0 && ctx.rand_bool(flip) {
+                            ge.bad = !ge.bad;
+                        }
+                        let burst = if ge.bad { ge.loss_bad } else { ge.loss_good };
+                        p = p.max(burst);
+                    }
                     drop(faults);
                     p > 0.0 && ctx.rand_bool(p)
                 }
@@ -325,6 +506,7 @@ impl Network {
                     "wire_drop",
                     &[("bytes", frame.wire_bytes() as u64)],
                 );
+                self.release_held(ctx, id);
                 continue;
             }
             ctx.trace_instant(
@@ -335,7 +517,7 @@ impl Network {
                     ("src", u64::from(frame.src.0)),
                 ],
             );
-            let targets: Vec<SimChannel<Frame>> = {
+            let targets: Vec<(Option<MacAddr>, SimChannel<Frame>)> = {
                 let inner = self.inner.lock();
                 inner.segments[id.0]
                     .attachments
@@ -349,19 +531,112 @@ impl Network {
                             }
                     })
                     .filter(|a| a.mac != Some(frame.src)) // no self-delivery
-                    .map(|a| a.rx.clone())
+                    .map(|a| (a.mac, a.rx.clone()))
                     .collect()
             };
-            let rx_loss = self.faults.lock().rx_loss_prob;
-            for target in targets {
-                if rx_loss > 0.0 && ctx.rand_bool(rx_loss) {
+            let f = self.faults.lock().clone();
+            for (mac, target) in targets {
+                // Reachability first — purely deterministic, no RNG draws.
+                if let Some(m) = mac {
+                    if f.is_down(m) || f.is_partitioned(frame.src, m) {
+                        self.inner.lock().segments[id.0].stats.link_drops += 1;
+                        ctx.trace_instant(
+                            Layer::Net,
+                            "link_drop",
+                            &[("src", u64::from(frame.src.0)), ("dst", u64::from(m.0))],
+                        );
+                        continue;
+                    }
+                }
+                if f.rx_loss_prob > 0.0 && ctx.rand_bool(f.rx_loss_prob) {
                     self.inner.lock().segments[id.0].stats.rx_drops += 1;
                     ctx.trace_instant(Layer::Net, "rx_drop", &[("src", u64::from(frame.src.0))]);
                     continue;
                 }
+                if f.reorder_prob > 0.0 && ctx.rand_bool(f.reorder_prob) {
+                    let span = f.reorder_span.max(1);
+                    let remaining = 1 + ctx.rand_range(span);
+                    let mut inner = self.inner.lock();
+                    let seg = &mut inner.segments[id.0];
+                    seg.stats.held_deliveries += 1;
+                    seg.held.push(HeldDelivery {
+                        remaining,
+                        rx: target,
+                        dst_mac: mac,
+                        frame: frame.clone(),
+                    });
+                    ctx.trace_instant(
+                        Layer::Net,
+                        "rx_held",
+                        &[("src", u64::from(frame.src.0)), ("frames", remaining)],
+                    );
+                    continue;
+                }
                 ctx.trace_instant(Layer::Net, "rx", &[("src", u64::from(frame.src.0))]);
                 let _ = target.send(ctx, frame.clone());
+                if f.dup_prob > 0.0 && ctx.rand_bool(f.dup_prob) {
+                    self.inner.lock().segments[id.0].stats.dup_deliveries += 1;
+                    ctx.trace_instant(Layer::Net, "rx_dup", &[("src", u64::from(frame.src.0))]);
+                    let _ = target.send(ctx, frame.clone());
+                }
             }
+            self.release_held(ctx, id);
+        }
+    }
+
+    /// Advances reorder hold-backs by one carried-or-dropped frame and
+    /// releases the deliveries whose countdown expired (in hold order). A
+    /// release re-checks reachability: a receiver that crashed or was
+    /// partitioned away while the frame was held loses it.
+    fn release_held(&self, ctx: &Ctx, id: SegmentId) {
+        let due: Vec<HeldDelivery> = {
+            let mut inner = self.inner.lock();
+            let seg = &mut inner.segments[id.0];
+            if seg.held.is_empty() {
+                return;
+            }
+            for h in &mut seg.held {
+                h.remaining -= 1;
+            }
+            let mut due = Vec::new();
+            seg.held.retain_mut(|h| {
+                if h.remaining == 0 {
+                    due.push(HeldDelivery {
+                        remaining: 0,
+                        rx: h.rx.clone(),
+                        dst_mac: h.dst_mac,
+                        frame: h.frame.clone(),
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+            due
+        };
+        for h in due {
+            let unreachable = match h.dst_mac {
+                Some(m) => {
+                    let f = self.faults.lock();
+                    f.is_down(m) || f.is_partitioned(h.frame.src, m)
+                }
+                None => false,
+            };
+            if unreachable {
+                self.inner.lock().segments[id.0].stats.link_drops += 1;
+                ctx.trace_instant(
+                    Layer::Net,
+                    "link_drop",
+                    &[("src", u64::from(h.frame.src.0))],
+                );
+                continue;
+            }
+            ctx.trace_instant(
+                Layer::Net,
+                "rx_release",
+                &[("src", u64::from(h.frame.src.0))],
+            );
+            let _ = h.rx.send(ctx, h.frame);
         }
     }
 

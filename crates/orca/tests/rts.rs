@@ -4,39 +4,16 @@
 
 use std::sync::{Arc, Mutex as StdMutex};
 
-use amoeba::{CostModel, Machine};
+use chaos::testutil::{self, Stack};
 use desim::Simulation;
-use ethernet::{MacAddr, NetConfig, Network};
+use ethernet::Network;
 use orca::{BarrierHandle, BoardHandle, BufferHandle, IntHandle, ObjId, OrcaWorld, QueueHandle};
-use panda::{KernelSpacePanda, Panda, PandaConfig, UserSpacePanda};
+use panda::PandaConfig;
 
 fn build(sim: &mut Simulation, n: u32, kernel: bool) -> (Network, OrcaWorld) {
-    let mut net = Network::new(NetConfig::default());
-    let seg = net.add_segment(sim, "s0");
-    let machines: Vec<Machine> = (0..n)
-        .map(|i| {
-            Machine::boot(
-                sim,
-                &mut net,
-                seg,
-                MacAddr(i),
-                &format!("m{i}"),
-                CostModel::default(),
-            )
-        })
-        .collect();
-    let pandas: Vec<Arc<dyn Panda>> = if kernel {
-        KernelSpacePanda::build(sim, &machines, &PandaConfig::default())
-            .into_iter()
-            .map(|p| p as Arc<dyn Panda>)
-            .collect()
-    } else {
-        UserSpacePanda::build(sim, &machines, &PandaConfig::default())
-            .into_iter()
-            .map(|p| p as Arc<dyn Panda>)
-            .collect()
-    };
-    (net, OrcaWorld::build(&pandas))
+    let stack = if kernel { Stack::Kernel } else { Stack::User };
+    let (world, pandas) = testutil::build_world(sim, n, stack, &PandaConfig::default());
+    (world.net, OrcaWorld::build(&pandas))
 }
 
 #[test]

@@ -70,7 +70,11 @@ impl KernelSpacePanda {
         );
         let n = machines.len() as u32;
         assert!(config.sequencer_node < n, "sequencer must be a node");
-        let spec = GroupSpec::build(0x77, machines.len(), config.sequencer_node as usize);
+        let mut spec = GroupSpec::build(0x77, machines.len(), config.sequencer_node as usize);
+        spec.config.send_timeout = config.group_send_timeout;
+        spec.config.send_retries = config.group_send_retries;
+        spec.config.status_interval = config.group_status_interval;
+        spec.config.resync_interval = config.kernel_group_resync_interval;
         let mut out = Vec::with_capacity(machines.len());
         for (i, machine) in machines.iter().enumerate() {
             let node = i as NodeId;
@@ -83,6 +87,16 @@ impl KernelSpacePanda {
                 },
             );
             let member = GroupMember::join(machine, spec.clone(), node);
+            // Sequencer laggard-resync daemon (kernel thread; only if the
+            // configuration enables it — see GroupConfig::resync_interval).
+            if member.is_sequencer() && !config.kernel_group_resync_interval.is_zero() {
+                let member_r = member.clone();
+                sim.spawn_daemon(
+                    machine.proc(),
+                    &format!("{}-gresync", machine.name()),
+                    move |ctx| member_r.run_resync_daemon(ctx),
+                );
+            }
             let panda = Arc::new(KernelSpacePanda {
                 node,
                 nodes: n,

@@ -139,6 +139,18 @@ pub struct PandaConfig {
     /// Explicit-acknowledgement delay: if no new request piggybacks the ack
     /// within this time, the user-space RPC client sends an explicit ack.
     pub ack_delay: SimDuration,
+    /// User-space only: sequencer resync interval while members lag (how
+    /// quickly laggards are brought back up to date when no new traffic
+    /// flows). Chaos tests shrink this so recovery converges fast.
+    pub group_resync_interval: SimDuration,
+    /// User-space only: a member reports progress to the sequencer after
+    /// this many deliveries.
+    pub group_status_interval: u64,
+    /// Kernel-space only: sequencer-driven laggard resync interval for the
+    /// kernel group. `ZERO` disables it (the historical Amoeba behavior,
+    /// and the default: fault-free kernel traces stay bit-identical). The
+    /// user-space group always resyncs via `group_resync_interval`.
+    pub kernel_group_resync_interval: SimDuration,
 }
 
 impl Default for PandaConfig {
@@ -152,6 +164,9 @@ impl Default for PandaConfig {
             dedicated_sequencer: false,
             rpc_server_pool: 4,
             ack_delay: SimDuration::from_millis(5),
+            group_resync_interval: SimDuration::from_millis(250),
+            group_status_interval: 20,
+            kernel_group_resync_interval: SimDuration::ZERO,
         }
     }
 }

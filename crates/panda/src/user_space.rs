@@ -64,6 +64,8 @@ impl UserSpacePanda {
         let group_config = UserGroupConfig {
             send_timeout: config.group_send_timeout,
             send_retries: config.group_send_retries,
+            resync_interval: config.group_resync_interval,
+            status_interval: config.group_status_interval,
             ..UserGroupConfig::default()
         };
         let mut out = Vec::new();

@@ -5,68 +5,23 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex as StdMutex};
 
-use amoeba::{CostModel, Machine};
 use bytes::Bytes;
+use chaos::testutil::{self, Stack};
 use desim::{ms, SimChannel, Simulation};
-use ethernet::{MacAddr, NetConfig, Network};
-use panda::{GroupDelivery, KernelSpacePanda, Panda, PandaConfig, UserSpacePanda};
+use ethernet::Network;
+use panda::{GroupDelivery, Panda, PandaConfig};
 
-fn boot_machines(sim: &mut Simulation, n: u32) -> (Network, Vec<Machine>) {
-    let mut net = Network::new(NetConfig::default());
-    let seg = net.add_segment(sim, "s0");
-    let machines = (0..n)
-        .map(|i| {
-            Machine::boot(
-                sim,
-                &mut net,
-                seg,
-                MacAddr(i),
-                &format!("m{i}"),
-                CostModel::default(),
-            )
-        })
-        .collect();
-    (net, machines)
+fn build_world(
+    sim: &mut Simulation,
+    n_nodes: u32,
+    which: &Stack,
+) -> (Network, Vec<Arc<dyn Panda>>) {
+    let (world, nodes) = testutil::build_world(sim, n_nodes, *which, &PandaConfig::default());
+    (world.net, nodes)
 }
 
-enum Impl {
-    Kernel,
-    User,
-    UserDedicated,
-}
-
-fn build_world(sim: &mut Simulation, n_nodes: u32, which: &Impl) -> (Network, Vec<Arc<dyn Panda>>) {
-    // A dedicated sequencer occupies one machine beyond the app nodes.
-    let n_machines = match which {
-        Impl::UserDedicated => n_nodes + 1,
-        _ => n_nodes,
-    };
-    let (net, machines) = boot_machines(sim, n_machines);
-    let nodes: Vec<Arc<dyn Panda>> = match which {
-        Impl::Kernel => KernelSpacePanda::build(sim, &machines, &PandaConfig::default())
-            .into_iter()
-            .map(|p| p as Arc<dyn Panda>)
-            .collect(),
-        Impl::User => UserSpacePanda::build(sim, &machines, &PandaConfig::default())
-            .into_iter()
-            .map(|p| p as Arc<dyn Panda>)
-            .collect(),
-        Impl::UserDedicated => {
-            let cfg = PandaConfig {
-                dedicated_sequencer: true,
-                ..PandaConfig::default()
-            };
-            UserSpacePanda::build(sim, &machines, &cfg)
-                .into_iter()
-                .map(|p| p as Arc<dyn Panda>)
-                .collect()
-        }
-    };
-    (net, nodes)
-}
-
-fn all_impls() -> Vec<Impl> {
-    vec![Impl::Kernel, Impl::User, Impl::UserDedicated]
+fn all_impls() -> Vec<Stack> {
+    vec![Stack::Kernel, Stack::User, Stack::UserDedicated]
 }
 
 #[test]
@@ -270,7 +225,7 @@ fn group_survives_packet_loss_both_impls() {
 
 #[test]
 fn rpc_survives_packet_loss_both_impls() {
-    for which in [Impl::Kernel, Impl::User] {
+    for which in [Stack::Kernel, Stack::User] {
         let mut sim = Simulation::new(13);
         let (net, nodes) = build_world(&mut sim, 2, &which);
         let counter = Arc::new(AtomicU64::new(0));
@@ -303,7 +258,7 @@ fn rpc_survives_packet_loss_both_impls() {
 fn user_space_cheaper_for_async_replies_kernel_cheaper_for_plain_rpc() {
     // The paper's core finding at micro level: measure a plain RPC and a
     // deferred-reply RPC on both implementations and compare the shapes.
-    fn measure(which: Impl, deferred: bool) -> f64 {
+    fn measure(which: Stack, deferred: bool) -> f64 {
         let mut sim = Simulation::new(21);
         let (_net, nodes) = build_world(&mut sim, 2, &which);
         let replier = Arc::clone(&nodes[1]);
@@ -341,10 +296,10 @@ fn user_space_cheaper_for_async_replies_kernel_cheaper_for_plain_rpc() {
         sim.run_until_finished(&h).expect("run");
         elapsed.load(Ordering::SeqCst) as f64 / 1000.0
     }
-    let kernel_plain = measure(Impl::Kernel, false);
-    let user_plain = measure(Impl::User, false);
-    let kernel_deferred = measure(Impl::Kernel, true);
-    let user_deferred = measure(Impl::User, true);
+    let kernel_plain = measure(Stack::Kernel, false);
+    let user_plain = measure(Stack::User, false);
+    let kernel_deferred = measure(Stack::Kernel, true);
+    let user_deferred = measure(Stack::User, true);
     assert!(
         kernel_plain < user_plain,
         "plain RPC: kernel {kernel_plain:.0}us must beat user {user_plain:.0}us"
@@ -363,23 +318,9 @@ fn nonblocking_broadcast_hides_latency_and_stays_ordered() {
     // The paper's Section 6 extension, only possible in user space: send
     // without waiting for the sequencer, flush before the result is needed.
     let mut sim = Simulation::new(31);
-    let (_net, machines) = {
-        let mut net = ethernet::Network::new(ethernet::NetConfig::default());
-        let seg = net.add_segment(&mut sim, "s0");
-        let machines: Vec<amoeba::Machine> = (0..3)
-            .map(|i| {
-                amoeba::Machine::boot(
-                    &mut sim,
-                    &mut net,
-                    seg,
-                    ethernet::MacAddr(i),
-                    &format!("m{i}"),
-                    amoeba::CostModel::default(),
-                )
-            })
-            .collect();
-        (net, machines)
-    };
+    // Built directly (not through build_world): the test needs the concrete
+    // UserSpacePanda type for its nonblocking group_module() extension.
+    let machines = testutil::boot_machines(&mut sim, 3).machines;
     let nodes = panda::UserSpacePanda::build(&mut sim, &machines, &panda::PandaConfig::default());
     let order: Arc<StdMutex<Vec<Vec<u8>>>> = Arc::new(StdMutex::new(vec![Vec::new(); nodes.len()]));
     for (i, n) in nodes.iter().enumerate() {
@@ -431,20 +372,8 @@ fn nonblocking_broadcast_hides_latency_and_stays_ordered() {
 #[test]
 fn nonblocking_flush_recovers_from_lost_request() {
     let mut sim = Simulation::new(33);
-    let mut net = ethernet::Network::new(ethernet::NetConfig::default());
-    let seg = net.add_segment(&mut sim, "s0");
-    let machines: Vec<amoeba::Machine> = (0..2)
-        .map(|i| {
-            amoeba::Machine::boot(
-                &mut sim,
-                &mut net,
-                seg,
-                ethernet::MacAddr(i),
-                &format!("m{i}"),
-                amoeba::CostModel::default(),
-            )
-        })
-        .collect();
+    let world = testutil::boot_machines(&mut sim, 2);
+    let (net, machines) = (world.net, world.machines);
     let nodes = panda::UserSpacePanda::build(&mut sim, &machines, &panda::PandaConfig::default());
     let delivered = Arc::new(AtomicU64::new(0));
     for n in &nodes {

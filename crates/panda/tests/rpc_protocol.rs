@@ -5,10 +5,11 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use amoeba::{CostModel, Machine};
+use amoeba::Machine;
 use bytes::Bytes;
+use chaos::testutil;
 use desim::{ms, SimChannel, Simulation};
-use ethernet::{MacAddr, NetConfig, Network};
+use ethernet::Network;
 use panda::{Panda, PandaConfig, UserSpacePanda};
 
 fn world(
@@ -16,22 +17,11 @@ fn world(
     n: u32,
     cfg: &PandaConfig,
 ) -> (Network, Vec<Machine>, Vec<Arc<UserSpacePanda>>) {
-    let mut net = Network::new(NetConfig::default());
-    let seg = net.add_segment(sim, "s0");
-    let machines: Vec<Machine> = (0..n)
-        .map(|i| {
-            Machine::boot(
-                sim,
-                &mut net,
-                seg,
-                MacAddr(i),
-                &format!("m{i}"),
-                CostModel::default(),
-            )
-        })
-        .collect();
-    let nodes = UserSpacePanda::build(sim, &machines, cfg);
-    (net, machines, nodes)
+    // Booted through the shared scaffold; built directly as UserSpacePanda
+    // because these tests poke protocol internals the Panda trait hides.
+    let w = testutil::boot_machines(sim, n);
+    let nodes = UserSpacePanda::build(sim, &w.machines, cfg);
+    (w.net, w.machines, nodes)
 }
 
 #[test]

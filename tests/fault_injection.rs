@@ -1,6 +1,6 @@
-//! Fault-path coverage (ISSUE 1, satellite 4): the promoted
-//! `examples/fault_injection.rs`, as an integration test sweeping
-//! receiver-side frame-loss rates on both stacks.
+//! Fault-path coverage: sweeps receiver-side loss, wire-level loss, and
+//! forced targeted drops on both stacks (ISSUE 2 extends the original
+//! rx-loss-only sweep).
 //!
 //! FLIP is unreliable by contract, so each protocol stack carries its own
 //! recovery: request retransmission with duplicate suppression for RPC,
@@ -16,7 +16,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
+use chaos::testutil::{boot_machines, build_stack, Stack};
 use desim::trace::Layer;
+use ethernet::FaultState;
 use orca_panda::prelude::*;
 
 struct FaultRun {
@@ -24,6 +26,7 @@ struct FaultRun {
     /// Per-member sequence of delivered group payload tags, in order.
     deliveries: Vec<Vec<u64>>,
     rx_drops: u64,
+    wire_drops: u64,
     rpc_retransmits: u64,
     rpc_dup_suppressed: u64,
     group_recoveries: u64,
@@ -32,35 +35,25 @@ struct FaultRun {
 const RPCS: u64 = 30;
 const BROADCASTS: u64 = 25;
 
-fn run(kernel_space: bool, loss: f64) -> FaultRun {
+fn run(kernel_space: bool, inject: impl FnOnce(&mut FaultState)) -> FaultRun {
     let mut sim = Simulation::new(0xfa_17);
     sim.enable_tracing_with_capacity(1 << 20);
-    let mut net = Network::new(NetConfig::default());
-    let seg = net.add_segment(&mut sim, "seg0");
-    let machines: Vec<Machine> = (0..3)
-        .map(|i| {
-            Machine::boot(
-                &mut sim,
-                &mut net,
-                seg,
-                MacAddr(i),
-                &format!("m{i}"),
-                CostModel::default(),
-            )
-        })
-        .collect();
-    net.faults().lock().rx_loss_prob = loss;
-    let nodes: Vec<Arc<dyn Panda>> = if kernel_space {
-        KernelSpacePanda::build(&mut sim, &machines, &PandaConfig::default())
-            .into_iter()
-            .map(|p| p as Arc<dyn Panda>)
-            .collect()
+    let world = boot_machines(&mut sim, 3);
+    inject(&mut world.net.faults().lock());
+    let stack = if kernel_space {
+        Stack::Kernel
     } else {
-        UserSpacePanda::build(&mut sim, &machines, &PandaConfig::default())
-            .into_iter()
-            .map(|p| p as Arc<dyn Panda>)
-            .collect()
+        Stack::User
     };
+    // Enable the kernel sequencer's laggard resync (off by default, to keep
+    // the historical fault-free traces): wire-level loss can erase a tail
+    // broadcast for *every* member at once, and with no later traffic to
+    // reveal the gap only a sequencer-driven resync can close it.
+    let config = PandaConfig {
+        kernel_group_resync_interval: desim::SimDuration::from_millis(250),
+        ..PandaConfig::default()
+    };
+    let nodes = build_stack(&mut sim, &world.machines, stack, &config);
 
     let executions = Arc::new(AtomicU64::new(0));
     let exec2 = Arc::clone(&executions);
@@ -82,7 +75,7 @@ fn run(kernel_space: bool, loss: f64) -> FaultRun {
     nodes[2].set_rpc_handler(Arc::new(|_, _, _, _| {}));
 
     let client = Arc::clone(&nodes[0]);
-    sim.spawn(machines[0].proc(), "rpc-client", move |ctx| {
+    sim.spawn(world.machines[0].proc(), "rpc-client", move |ctx| {
         for i in 0..RPCS {
             let body = Bytes::from(i.to_be_bytes().to_vec());
             let reply = client
@@ -92,7 +85,7 @@ fn run(kernel_space: bool, loss: f64) -> FaultRun {
         }
     });
     let caster = Arc::clone(&nodes[2]);
-    sim.spawn(machines[2].proc(), "broadcaster", move |ctx| {
+    sim.spawn(world.machines[2].proc(), "broadcaster", move |ctx| {
         for i in 0..BROADCASTS {
             let mut payload = vec![9u8; 600];
             payload[..8].copy_from_slice(&i.to_be_bytes());
@@ -110,45 +103,50 @@ fn run(kernel_space: bool, loss: f64) -> FaultRun {
             .map(|c| c.count)
             .sum()
     };
+    let stats = world.net.total_stats();
     FaultRun {
         executions: executions.load(Ordering::SeqCst),
         deliveries: deliveries
             .iter()
             .map(|m| m.lock().unwrap().clone())
             .collect(),
-        rx_drops: net.total_stats().rx_drops,
+        rx_drops: stats.rx_drops,
+        wire_drops: stats.wire_drops,
         rpc_retransmits: counter(Layer::Rpc, "retransmit"),
         rpc_dup_suppressed: counter(Layer::Rpc, "dup_suppressed"),
         group_recoveries: counter(Layer::Group, "retransmit")
             + counter(Layer::Group, "retrans_req_tx")
-            + counter(Layer::Group, "retrans_req_rx"),
+            + counter(Layer::Group, "retrans_req_rx")
+            + counter(Layer::Group, "resync"),
     }
 }
 
-fn check(kernel_space: bool, loss_pct: u32) {
+/// The end-to-end guarantees every faulted run must uphold.
+fn assert_guarantees(r: &FaultRun, label: &str) {
+    // At-most-once (here: exactly-once, since every call eventually
+    // succeeded): retransmitted requests never re-execute the handler.
+    assert_eq!(
+        r.executions, RPCS,
+        "{label}: every RPC must execute exactly once"
+    );
+    // Gap-free total order: all three members deliver the full tag sequence
+    // in submission order, with no gap, duplicate, or reordering.
+    let expected: Vec<u64> = (0..BROADCASTS).collect();
+    for (i, got) in r.deliveries.iter().enumerate() {
+        assert_eq!(got, &expected, "{label}: member {i} delivery order broken");
+    }
+}
+
+fn check_rx_loss(kernel_space: bool, loss_pct: u32) {
     let label = if kernel_space {
         "kernel-space"
     } else {
         "user-space"
     };
-    let r = run(kernel_space, f64::from(loss_pct) / 100.0);
-
-    // At-most-once (here: exactly-once, since every call eventually
-    // succeeded): retransmitted requests never re-execute the handler.
-    assert_eq!(
-        r.executions, RPCS,
-        "{label} @ {loss_pct}%: every RPC must execute exactly once"
-    );
-
-    // Gap-free total order: all three members deliver the full tag sequence
-    // in submission order, with no gap, duplicate, or reordering.
-    let expected: Vec<u64> = (0..BROADCASTS).collect();
-    for (i, got) in r.deliveries.iter().enumerate() {
-        assert_eq!(
-            got, &expected,
-            "{label} @ {loss_pct}%: member {i} delivery order broken"
-        );
-    }
+    let r = run(kernel_space, |f| {
+        f.rx_loss_prob = f64::from(loss_pct) / 100.0;
+    });
+    assert_guarantees(&r, &format!("{label} @ rx {loss_pct}%"));
 
     if loss_pct == 0 {
         assert_eq!(r.rx_drops, 0, "{label}: no drops without injected loss");
@@ -173,28 +171,97 @@ fn check(kernel_space: bool, loss_pct: u32) {
     }
 }
 
+fn check_wire_loss(kernel_space: bool, loss_pct: u32) -> FaultRun {
+    let label = if kernel_space {
+        "kernel-space"
+    } else {
+        "user-space"
+    };
+    let r = run(kernel_space, |f| {
+        f.wire_loss_prob = f64::from(loss_pct) / 100.0;
+    });
+    assert_guarantees(&r, &format!("{label} @ wire {loss_pct}%"));
+    // Wire loss kills the frame for every receiver at once; it must show up
+    // in the wire-drop counter, never the per-receiver one.
+    assert!(
+        r.wire_drops > 0,
+        "{label} @ wire {loss_pct}%: faults were injected"
+    );
+    assert_eq!(r.rx_drops, 0, "{label}: wire loss is not a receiver drop");
+    r
+}
+
+/// A single low-rate run can happen to drop only frames whose loss is
+/// harmless (an ack, a status note), so the mechanism check — recovery
+/// traffic actually flowed — is asserted over the whole sweep, while the
+/// end-to-end guarantees hold at every rate individually.
+fn wire_loss_sweep(kernel_space: bool) {
+    let recovery: u64 = [4, 8, 12]
+        .into_iter()
+        .map(|pct| {
+            let r = check_wire_loss(kernel_space, pct);
+            r.rpc_retransmits + r.group_recoveries
+        })
+        .sum();
+    assert!(
+        recovery > 0,
+        "wire-loss sweep never engaged recovery machinery"
+    );
+}
+
 #[test]
-fn kernel_stack_recovers_across_loss_sweep() {
+fn kernel_stack_recovers_across_rx_loss_sweep() {
     for loss_pct in [0, 3, 6, 10] {
-        check(true, loss_pct);
+        check_rx_loss(true, loss_pct);
     }
 }
 
 #[test]
-fn user_stack_recovers_across_loss_sweep() {
+fn user_stack_recovers_across_rx_loss_sweep() {
     for loss_pct in [0, 3, 6, 10] {
-        check(false, loss_pct);
+        check_rx_loss(false, loss_pct);
     }
+}
+
+#[test]
+fn kernel_stack_recovers_across_wire_loss_sweep() {
+    wire_loss_sweep(true);
+}
+
+#[test]
+fn user_stack_recovers_across_wire_loss_sweep() {
+    wire_loss_sweep(false);
 }
 
 /// Forcing the loss of *specific* frames (instead of a coin per delivery)
-/// exercises the duplicate-suppression path deterministically: the first
-/// transmission of a request is dropped, the retransmission executes, and
-/// any further retransmission that races the reply is suppressed.
+/// exercises recovery deterministically: the first transmissions are
+/// dropped on the wire unconditionally, the retransmissions get through,
+/// and any retransmission that races a delayed reply is suppressed.
+#[test]
+fn forced_drops_recover_deterministically() {
+    for kernel_space in [true, false] {
+        let label = if kernel_space {
+            "kernel-space"
+        } else {
+            "user-space"
+        };
+        let r = run(kernel_space, |f| f.force_drop_next = 4);
+        assert_guarantees(&r, &format!("{label} force_drop_next=4"));
+        assert_eq!(
+            r.wire_drops, 4,
+            "{label}: exactly the forced frames are dropped"
+        );
+        assert!(
+            r.rpc_retransmits + r.group_recoveries > 0,
+            "{label}: forced drops must engage recovery"
+        );
+    }
+}
+
 #[test]
 fn duplicate_requests_are_suppressed_not_reexecuted() {
     for kernel_space in [true, false] {
-        let r = run(kernel_space, 0.08);
+        let r = run(kernel_space, |f| f.rx_loss_prob = 0.08);
         assert_eq!(r.executions, RPCS);
         assert!(
             r.rpc_retransmits > 0,

@@ -17,6 +17,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
+use chaos::testutil::{boot_machines, build_stack, Stack};
 use desim::trace::{Layer, Phase, TraceEvent};
 use orca_panda::prelude::*;
 use proptest::prelude::*;
@@ -111,22 +112,11 @@ proptest! {
     ) {
         let mut sim = Simulation::new(seed);
         sim.enable_tracing_with_capacity(1 << 20);
-        let mut net = Network::new(NetConfig::default());
-        let seg = net.add_segment(&mut sim, "seg0");
-        let machines: Vec<Machine> = (0..3)
-            .map(|i| {
-                Machine::boot(&mut sim, &mut net, seg, MacAddr(i), &format!("m{i}"),
-                    CostModel::default())
-            })
-            .collect();
-        net.faults().lock().rx_loss_prob = f64::from(loss_pct) / 100.0;
-        let nodes: Vec<Arc<dyn Panda>> = if kernel {
-            KernelSpacePanda::build(&mut sim, &machines, &PandaConfig::default())
-                .into_iter().map(|p| p as Arc<dyn Panda>).collect()
-        } else {
-            UserSpacePanda::build(&mut sim, &machines, &PandaConfig::default())
-                .into_iter().map(|p| p as Arc<dyn Panda>).collect()
-        };
+        let stack = if kernel { Stack::Kernel } else { Stack::User };
+        let world = boot_machines(&mut sim, 3);
+        world.net.faults().lock().rx_loss_prob = f64::from(loss_pct) / 100.0;
+        let nodes = build_stack(&mut sim, &world.machines, stack, &PandaConfig::default());
+        let (net, machines) = (world.net, world.machines);
         let replier = Arc::clone(&nodes[1]);
         nodes[1].set_rpc_handler(Arc::new(move |ctx, _f, req, t| {
             replier.reply(ctx, t, req);
