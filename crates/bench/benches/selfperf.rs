@@ -1,0 +1,110 @@
+//! Self-benchmark of the simulator: wall-clock ns/event on the scheduler
+//! hot paths, plus serial-vs-parallel chaos-sweep throughput with a
+//! bit-identical-results check. Writes `BENCH_selfperf.json` at the
+//! repository root (override with `SELFPERF_OUT=<path>`).
+//!
+//! Run with `cargo bench -p bench --bench selfperf`. Pass `-- --quick` (or
+//! set `SELFPERF_QUICK=1`) for the reduced CI workload. With
+//! `SELFPERF_GATE=1` the run fails on a gross hot-path regression (>3× the
+//! recorded baseline) or on a serial/parallel determinism mismatch.
+
+use std::process::ExitCode;
+
+use bench::selfperf::{self, BASELINE_PINGPONG_NS_PER_EVENT, BASELINE_SLEEPSTORM_NS_PER_EVENT};
+
+fn out_path() -> std::path::PathBuf {
+    if let Ok(p) = std::env::var("SELFPERF_OUT") {
+        return p.into();
+    }
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_selfperf.json")
+}
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("SELFPERF_QUICK").as_deref() == Ok("1");
+    let gate = std::env::var("SELFPERF_GATE").as_deref() == Ok("1");
+
+    let report = selfperf::run(quick);
+    println!(
+        "selfperf ({}; {} host cores)\n",
+        if quick { "quick" } else { "full" },
+        report.host_cores
+    );
+    for (name, hot, baseline) in [
+        ("pingpong", &report.pingpong, BASELINE_PINGPONG_NS_PER_EVENT),
+        (
+            "sleepstorm",
+            &report.sleepstorm,
+            BASELINE_SLEEPSTORM_NS_PER_EVENT,
+        ),
+    ] {
+        println!(
+            "  {name:<10} {:>9} events  {:>8.0} ns/event  {:>10.0} events/s  \
+             (baseline {:.0} ns/event, {:.1}x faster)",
+            hot.events,
+            hot.ns_per_event(),
+            hot.events_per_sec(),
+            baseline,
+            baseline / hot.ns_per_event()
+        );
+    }
+    println!(
+        "\n  sweep serial    {:>4} runs in {:>7.2}s  ({:.1} runs/s, jobs=1)",
+        report.serial.runs,
+        report.serial.wall_ns as f64 / 1e9,
+        report.serial.runs_per_sec()
+    );
+    println!(
+        "  sweep parallel  {:>4} runs in {:>7.2}s  ({:.1} runs/s, jobs={})",
+        report.parallel.runs,
+        report.parallel.wall_ns as f64 / 1e9,
+        report.parallel.runs_per_sec(),
+        report.parallel.jobs
+    );
+    println!(
+        "  speedup {:.2}x, deterministic: {}",
+        report.sweep_speedup(),
+        report.deterministic()
+    );
+
+    let path = out_path();
+    match std::fs::write(&path, report.to_json()) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => {
+            eprintln!("selfperf: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if gate {
+        let mut failed = false;
+        if !report.deterministic() {
+            eprintln!("selfperf GATE: serial and parallel sweeps diverged");
+            failed = true;
+        }
+        for (name, hot, baseline) in [
+            ("pingpong", &report.pingpong, BASELINE_PINGPONG_NS_PER_EVENT),
+            (
+                "sleepstorm",
+                &report.sleepstorm,
+                BASELINE_SLEEPSTORM_NS_PER_EVENT,
+            ),
+        ] {
+            if hot.ns_per_event() > baseline * 3.0 {
+                eprintln!(
+                    "selfperf GATE: {name} at {:.0} ns/event, over 3x the \
+                     {baseline:.0} ns/event baseline",
+                    hot.ns_per_event()
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
+        println!("selfperf GATE: ok");
+    }
+    ExitCode::SUCCESS
+}

@@ -2,12 +2,15 @@
 //! system-layer primitives, the RPC protocols, and the group protocols, for
 //! message sizes 0–4 KB, side by side with the published numbers.
 //!
-//! Run with `cargo bench -p bench --bench table1_latency`.
+//! Run with `cargo bench -p bench --bench table1_latency`. Pass
+//! `-- --jobs N` to run the 30 independent measurements on N worker threads
+//! (default: one per core); the table is identical for any job count.
 
 fn main() {
+    let jobs = bench::jobs_from_args();
     let cost = amoeba::CostModel::default();
     println!("Table 1 — Communication latencies [ms], simulated vs paper\n");
-    let rows = bench::table1(&cost);
+    let rows = bench::table1_jobs(&cost, jobs);
     println!("{}", bench::format_table1(&rows));
     // Headline checks (the paper's qualitative claims).
     let r0 = &rows[0];

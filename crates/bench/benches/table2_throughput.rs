@@ -1,12 +1,15 @@
 //! Regenerates **Table 2** of the paper: RPC and group communication
 //! throughput with 8000-byte messages.
 //!
-//! Run with `cargo bench -p bench --bench table2_throughput`.
+//! Run with `cargo bench -p bench --bench table2_throughput`. Pass
+//! `-- --jobs N` to run the four measurements on worker threads (default:
+//! one per core); the table is identical for any job count.
 
 fn main() {
+    let jobs = bench::jobs_from_args();
     let cost = amoeba::CostModel::default();
     println!("Table 2 — Communication throughputs [KB/s], simulated vs paper\n");
-    let t = bench::table2(&cost);
+    let t = bench::table2_jobs(&cost, jobs);
     let p = bench::PAPER_TABLE2;
     println!("                      sim    paper");
     println!(

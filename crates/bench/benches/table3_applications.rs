@@ -5,37 +5,60 @@
 //!
 //! Run with `cargo bench -p bench --bench table3_applications`. Set
 //! `TABLE3_SCALE=small` for a fast smoke pass; the default runs paper-scale
-//! workloads and takes a while.
+//! workloads and takes a while. Pass `-- --jobs N` to run the independent
+//! `(app, implementation, nodes)` simulations on N worker threads (default:
+//! one per core); results are reassembled in table order, so the output is
+//! identical for any job count.
 
-use apps::ProtoImpl;
+use apps::{AppReport, ProtoImpl};
 use bench::{paper_table3, run_app, Scale, TABLE3_APPS};
+use desim::par::par_map;
 
 const NODE_COUNTS: [u32; 4] = [1, 8, 16, 32];
 
+fn impls_for(app: &str) -> &'static [ProtoImpl] {
+    if app == "leq" {
+        &[
+            ProtoImpl::KernelSpace,
+            ProtoImpl::UserSpace,
+            ProtoImpl::UserSpaceDedicated,
+        ]
+    } else {
+        &[ProtoImpl::KernelSpace, ProtoImpl::UserSpace]
+    }
+}
+
 fn main() {
+    let jobs = bench::jobs_from_args();
     let scale = Scale::from_env(Scale::Paper);
     println!("Table 3 — Orca application execution times [s], simulated (paper)\n");
     println!(
         "{:<6} {:<22} {:>14} {:>14} {:>14} {:>14}  {:>8}",
         "app", "implementation", "1", "8", "16", "32", "speedup"
     );
+    // Every (app, implementation, nodes) run is an independent simulation:
+    // fan them all out at once, then print in table order.
+    let combos: Vec<(&str, ProtoImpl, u32)> = TABLE3_APPS
+        .iter()
+        .flat_map(|&app| {
+            impls_for(app)
+                .iter()
+                .flat_map(move |&imp| NODE_COUNTS.iter().map(move |&nodes| (app, imp, nodes)))
+        })
+        .collect();
+    let reports: Vec<AppReport> = par_map(jobs, combos.len(), |i| {
+        let (app, imp, nodes) = combos[i];
+        run_app(app, imp, nodes, scale)
+    });
+    let mut next = reports.into_iter();
     for app in TABLE3_APPS {
-        let impls: &[ProtoImpl] = if app == "leq" {
-            &[
-                ProtoImpl::KernelSpace,
-                ProtoImpl::UserSpace,
-                ProtoImpl::UserSpaceDedicated,
-            ]
-        } else {
-            &[ProtoImpl::KernelSpace, ProtoImpl::UserSpace]
-        };
         let mut checksums = Vec::new();
-        for &imp in impls {
+        for &imp in impls_for(app) {
             let mut cells = Vec::new();
             let mut t1 = None;
             let mut best = f64::INFINITY;
             for &nodes in &NODE_COUNTS {
-                let r = run_app(app, imp, nodes, scale);
+                let r = next.next().expect("one report per combo");
                 checksums.push(r.checksum);
                 let secs = r.elapsed.as_secs_f64();
                 if nodes == 1 {

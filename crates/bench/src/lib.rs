@@ -4,11 +4,14 @@
 
 #![warn(missing_docs)]
 
+pub mod selfperf;
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use amoeba::{CostModel, Machine};
 use bytes::Bytes;
+use desim::par::par_map;
 use desim::trace::{Layer, Phase, TraceEvent};
 use desim::{SimChannel, SimDuration, SimTime, Simulation};
 use ethernet::{MacAddr, NetConfig, Network};
@@ -16,6 +19,22 @@ use panda::{KernelSpacePanda, Module, Panda, PandaConfig, PandaHeader, SysLayer,
 
 /// Message sizes of Table 1 (bytes).
 pub const TABLE1_SIZES: [usize; 5] = [0, 1024, 2048, 3072, 4096];
+
+/// Parses a `--jobs N` argument for the bench binaries, defaulting to `0`
+/// (one worker per core). Cargo's bench runner passes extra flags through
+/// (`cargo bench --bench X -- --jobs 4`); unknown arguments are ignored so
+/// the harnesses stay compatible with `--bench`-style filters.
+pub fn jobs_from_args() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            if let Some(n) = args.next().and_then(|s| s.parse().ok()) {
+                return n;
+            }
+        }
+    }
+    0
+}
 
 /// One row of Table 1 (all values in milliseconds).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -314,16 +333,37 @@ fn group_latency_inner(size: usize, which: Which, cost: &CostModel, trace: bool)
 
 /// Produces the full reproduced Table 1 with the given cost model.
 pub fn table1(cost: &CostModel) -> Vec<Table1Row> {
+    table1_jobs(cost, 1)
+}
+
+/// [`table1`] on up to `jobs` worker threads (`0` = auto). Each of the 30
+/// cells is an independent simulation, so they fan out over
+/// [`desim::par::par_map`] and are reassembled in table order — the rows
+/// are identical to a serial run for any job count.
+pub fn table1_jobs(cost: &CostModel, jobs: usize) -> Vec<Table1Row> {
+    const COLS: usize = 6;
+    let cells = par_map(jobs, TABLE1_SIZES.len() * COLS, |i| {
+        let size = TABLE1_SIZES[i / COLS];
+        match i % COLS {
+            0 => system_layer_latency(size, false, cost).as_millis_f64(),
+            1 => system_layer_latency(size, true, cost).as_millis_f64(),
+            2 => rpc_latency(size, Which::User, cost).as_millis_f64(),
+            3 => rpc_latency(size, Which::Kernel, cost).as_millis_f64(),
+            4 => group_latency(size, Which::User, cost).as_millis_f64(),
+            _ => group_latency(size, Which::Kernel, cost).as_millis_f64(),
+        }
+    });
     TABLE1_SIZES
         .iter()
-        .map(|&size| Table1Row {
+        .enumerate()
+        .map(|(r, &size)| Table1Row {
             size,
-            unicast_user_ms: system_layer_latency(size, false, cost).as_millis_f64(),
-            multicast_user_ms: system_layer_latency(size, true, cost).as_millis_f64(),
-            rpc_user_ms: rpc_latency(size, Which::User, cost).as_millis_f64(),
-            rpc_kernel_ms: rpc_latency(size, Which::Kernel, cost).as_millis_f64(),
-            group_user_ms: group_latency(size, Which::User, cost).as_millis_f64(),
-            group_kernel_ms: group_latency(size, Which::Kernel, cost).as_millis_f64(),
+            unicast_user_ms: cells[r * COLS],
+            multicast_user_ms: cells[r * COLS + 1],
+            rpc_user_ms: cells[r * COLS + 2],
+            rpc_kernel_ms: cells[r * COLS + 3],
+            group_user_ms: cells[r * COLS + 4],
+            group_kernel_ms: cells[r * COLS + 5],
         })
         .collect()
 }
@@ -426,11 +466,23 @@ pub fn group_throughput(which: Which, cost: &CostModel) -> f64 {
 
 /// Produces the reproduced Table 2.
 pub fn table2(cost: &CostModel) -> Table2Row {
+    table2_jobs(cost, 1)
+}
+
+/// [`table2`] on up to `jobs` worker threads (`0` = auto); the four
+/// measurements are independent simulations (see [`table1_jobs`]).
+pub fn table2_jobs(cost: &CostModel, jobs: usize) -> Table2Row {
+    let cells = par_map(jobs, 4, |i| match i {
+        0 => rpc_throughput(Which::User, cost),
+        1 => rpc_throughput(Which::Kernel, cost),
+        2 => group_throughput(Which::User, cost),
+        _ => group_throughput(Which::Kernel, cost),
+    });
     Table2Row {
-        rpc_user_kbs: rpc_throughput(Which::User, cost),
-        rpc_kernel_kbs: rpc_throughput(Which::Kernel, cost),
-        group_user_kbs: group_throughput(Which::User, cost),
-        group_kernel_kbs: group_throughput(Which::Kernel, cost),
+        rpc_user_kbs: cells[0],
+        rpc_kernel_kbs: cells[1],
+        group_user_kbs: cells[2],
+        group_kernel_kbs: cells[3],
     }
 }
 

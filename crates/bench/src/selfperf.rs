@@ -1,0 +1,307 @@
+//! Wall-clock self-measurement of the simulator itself (everything else in
+//! this crate measures *virtual* time; this module measures how fast the
+//! host machine grinds through simulated events).
+//!
+//! Two hot-path microworkloads exercise the scheduler handoff directly:
+//!
+//! - **pingpong**: two simulated threads on two processors bouncing a value
+//!   over a pair of [`SimChannel`]s — every event is a cross-thread handoff;
+//! - **sleepstorm**: one thread sleeping in 10 ns steps — every event is a
+//!   timer wake of the same thread.
+//!
+//! A third workload times the chaos seed sweep end-to-end, serial vs
+//! parallel, and folds every per-run trace hash into one aggregate so the
+//! two sweeps can be checked for bit-identical results.
+//!
+//! The `selfperf` bench binary runs all three and writes
+//! `BENCH_selfperf.json` at the repository root.
+
+use std::time::Instant;
+
+use chaos::{run_chaos, ChaosConfig, Stack};
+use desim::par::par_map;
+use desim::{SimChannel, SimDuration, Simulation};
+
+/// Scheduler hot-path numbers recorded immediately before the park/unpark
+/// rewrite (condvar-based handoff, commit d56f4d6), for regression context
+/// in the report. Median of 3 runs on the 1-core reference container.
+pub const BASELINE_PINGPONG_NS_PER_EVENT: f64 = 8299.0;
+/// See [`BASELINE_PINGPONG_NS_PER_EVENT`].
+pub const BASELINE_SLEEPSTORM_NS_PER_EVENT: f64 = 8193.0;
+/// Where the baseline numbers come from.
+pub const BASELINE_NOTE: &str = "pre-park/unpark condvar scheduler, commit d56f4d6";
+
+/// One hot-path measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotPath {
+    /// Simulation events processed.
+    pub events: u64,
+    /// Wall-clock time for the whole run, nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl HotPath {
+    /// Wall nanoseconds per simulated event.
+    pub fn ns_per_event(&self) -> f64 {
+        self.wall_ns as f64 / self.events.max(1) as f64
+    }
+
+    /// Simulated events per wall second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / (self.wall_ns.max(1) as f64 / 1e9)
+    }
+}
+
+/// Channel ping-pong between two simulated threads: `rounds` round trips,
+/// every event a scheduler handoff.
+pub fn pingpong(rounds: u64) -> HotPath {
+    let mut sim = Simulation::new(7);
+    let p0 = sim.add_processor("p0");
+    let p1 = sim.add_processor("p1");
+    let ping: SimChannel<u64> = SimChannel::new();
+    let pong: SimChannel<u64> = SimChannel::new();
+    let (a, b) = (ping.clone(), pong.clone());
+    sim.spawn(p0, "ping", move |ctx| {
+        for i in 0..rounds {
+            a.send(ctx, i).expect("send");
+            let _ = b.recv(ctx);
+        }
+        a.close(ctx);
+    });
+    sim.spawn(p1, "pong", move |ctx| {
+        while let Some(i) = ping.recv(ctx) {
+            let _ = pong.send(ctx, i);
+        }
+    });
+    let t0 = Instant::now();
+    sim.run().expect("pingpong completes");
+    HotPath {
+        events: sim.report().events,
+        wall_ns: t0.elapsed().as_nanos() as u64,
+    }
+}
+
+/// One thread sleeping `wakes` times in 10 ns steps: every event a timer
+/// wake of the same thread.
+pub fn sleepstorm(wakes: u64) -> HotPath {
+    let mut sim = Simulation::new(9);
+    let p0 = sim.add_processor("p0");
+    sim.spawn(p0, "sleeper", move |ctx| {
+        for _ in 0..wakes {
+            ctx.sleep(SimDuration::from_nanos(10));
+        }
+    });
+    let t0 = Instant::now();
+    sim.run().expect("sleepstorm completes");
+    HotPath {
+        events: sim.report().events,
+        wall_ns: t0.elapsed().as_nanos() as u64,
+    }
+}
+
+/// Runs `measure` `reps` times and returns the run with the median wall
+/// time (robust against one-off scheduling noise).
+pub fn median_of<F: FnMut() -> HotPath>(reps: usize, mut measure: F) -> HotPath {
+    let mut runs: Vec<HotPath> = (0..reps.max(1)).map(|_| measure()).collect();
+    runs.sort_by_key(|r| r.wall_ns);
+    runs[runs.len() / 2]
+}
+
+/// One timed chaos sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPerf {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Runs executed (seeds × stacks).
+    pub runs: u64,
+    /// Wall-clock time, nanoseconds.
+    pub wall_ns: u64,
+    /// FNV-1a over every per-run trace hash, in sweep order — two sweeps
+    /// with equal aggregates produced bit-identical runs.
+    pub aggregate_hash: u64,
+}
+
+impl SweepPerf {
+    /// Chaos runs per wall second.
+    pub fn runs_per_sec(&self) -> f64 {
+        self.runs as f64 / (self.wall_ns.max(1) as f64 / 1e9)
+    }
+}
+
+/// Times a `seeds`-per-stack chaos sweep (both stacks, the standard sweep
+/// configuration) on `jobs` workers and folds every trace hash into
+/// [`SweepPerf::aggregate_hash`].
+pub fn chaos_sweep_perf(seeds: u64, jobs: usize) -> SweepPerf {
+    let stacks = [Stack::Kernel, Stack::User];
+    let max_virtual = SimDuration::from_millis(500);
+    let t0 = Instant::now();
+    let mut aggregate: u64 = 0xcbf29ce484222325;
+    let mut runs = 0u64;
+    for stack in stacks {
+        let hashes = par_map(jobs, seeds as usize, |i| {
+            let cfg = ChaosConfig::for_seed(stack, i as u64, 10, 8, max_virtual);
+            run_chaos(&cfg).trace_hash
+        });
+        for h in hashes {
+            runs += 1;
+            for byte in h.to_le_bytes() {
+                aggregate ^= byte as u64;
+                aggregate = aggregate.wrapping_mul(0x100000001b3);
+            }
+        }
+    }
+    SweepPerf {
+        jobs: desim::par::effective_jobs(jobs),
+        runs,
+        wall_ns: t0.elapsed().as_nanos() as u64,
+        aggregate_hash: aggregate,
+    }
+}
+
+/// The full self-measurement, as written to `BENCH_selfperf.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelfPerfReport {
+    /// `true` for the reduced CI workload.
+    pub quick: bool,
+    /// Host cores available to the process.
+    pub host_cores: usize,
+    /// Channel ping-pong hot path.
+    pub pingpong: HotPath,
+    /// Timer-wake hot path.
+    pub sleepstorm: HotPath,
+    /// The sweep on one worker.
+    pub serial: SweepPerf,
+    /// The sweep on many workers.
+    pub parallel: SweepPerf,
+}
+
+impl SelfPerfReport {
+    /// Parallel-over-serial sweep wall-clock speedup.
+    pub fn sweep_speedup(&self) -> f64 {
+        self.serial.wall_ns as f64 / self.parallel.wall_ns.max(1) as f64
+    }
+
+    /// Whether the serial and parallel sweeps produced bit-identical runs.
+    pub fn deterministic(&self) -> bool {
+        self.serial.aggregate_hash == self.parallel.aggregate_hash
+    }
+
+    /// Renders the report as JSON (hand-rolled; the workspace has no JSON
+    /// dependency and the schema is flat).
+    pub fn to_json(&self) -> String {
+        fn hot(h: &HotPath) -> String {
+            format!(
+                "{{\"events\": {}, \"wall_ns\": {}, \"ns_per_event\": {:.1}, \
+                 \"events_per_sec\": {:.0}}}",
+                h.events,
+                h.wall_ns,
+                h.ns_per_event(),
+                h.events_per_sec()
+            )
+        }
+        fn sweep(s: &SweepPerf) -> String {
+            format!(
+                "{{\"jobs\": {}, \"runs\": {}, \"wall_ns\": {}, \
+                 \"runs_per_sec\": {:.1}, \"aggregate_hash\": \"{:016x}\"}}",
+                s.jobs,
+                s.runs,
+                s.wall_ns,
+                s.runs_per_sec(),
+                s.aggregate_hash
+            )
+        }
+        format!(
+            "{{\n  \"schema\": \"selfperf-v1\",\n  \"generated_by\": \
+             \"cargo bench -p bench --bench selfperf\",\n  \"quick\": {},\n  \
+             \"host_cores\": {},\n  \"hot_path\": {{\n    \"pingpong\": {},\n    \
+             \"sleepstorm\": {}\n  }},\n  \"baseline_ns_per_event\": {{\n    \
+             \"pingpong\": {:.1},\n    \"sleepstorm\": {:.1},\n    \"note\": \
+             \"{}\"\n  }},\n  \"sweep\": {{\n    \"serial\": {},\n    \
+             \"parallel\": {},\n    \"speedup\": {:.2},\n    \
+             \"deterministic\": {}\n  }}\n}}\n",
+            self.quick,
+            self.host_cores,
+            hot(&self.pingpong),
+            hot(&self.sleepstorm),
+            BASELINE_PINGPONG_NS_PER_EVENT,
+            BASELINE_SLEEPSTORM_NS_PER_EVENT,
+            BASELINE_NOTE,
+            sweep(&self.serial),
+            sweep(&self.parallel),
+            self.sweep_speedup(),
+            self.deterministic(),
+        )
+    }
+}
+
+/// Runs the full self-measurement. `quick` shrinks every workload for CI.
+pub fn run(quick: bool) -> SelfPerfReport {
+    let (rounds, wakes, seeds, reps) = if quick {
+        (10_000, 20_000, 8, 1)
+    } else {
+        (100_000, 200_000, 50, 3)
+    };
+    SelfPerfReport {
+        quick,
+        host_cores: desim::par::default_jobs(),
+        pingpong: median_of(reps, || pingpong(rounds)),
+        sleepstorm: median_of(reps, || sleepstorm(wakes)),
+        serial: chaos_sweep_perf(seeds, 1),
+        parallel: chaos_sweep_perf(seeds, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_deterministic_across_job_counts() {
+        let serial = chaos_sweep_perf(3, 1);
+        let parallel = chaos_sweep_perf(3, 4);
+        assert_eq!(serial.runs, parallel.runs);
+        assert_eq!(serial.aggregate_hash, parallel.aggregate_hash);
+    }
+
+    #[test]
+    fn hot_paths_process_events() {
+        let p = pingpong(100);
+        assert!(p.events >= 200, "pingpong events: {}", p.events);
+        let s = sleepstorm(100);
+        assert!(s.events >= 100, "sleepstorm events: {}", s.events);
+        assert!(p.ns_per_event() > 0.0 && s.events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn json_report_is_well_formed_enough() {
+        let report = SelfPerfReport {
+            quick: true,
+            host_cores: 4,
+            pingpong: HotPath {
+                events: 10,
+                wall_ns: 1000,
+            },
+            sleepstorm: HotPath {
+                events: 20,
+                wall_ns: 2000,
+            },
+            serial: SweepPerf {
+                jobs: 1,
+                runs: 6,
+                wall_ns: 5000,
+                aggregate_hash: 0xabc,
+            },
+            parallel: SweepPerf {
+                jobs: 4,
+                runs: 6,
+                wall_ns: 2500,
+                aggregate_hash: 0xabc,
+            },
+        };
+        let json = report.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"schema\": \"selfperf-v1\""));
+        assert!(json.contains("\"speedup\": 2.00"));
+        assert!(json.contains("\"deterministic\": true"));
+    }
+}

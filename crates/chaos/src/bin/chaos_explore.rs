@@ -8,11 +8,15 @@
 //! outcome, violations, and both trace hashes.
 //!
 //! ```text
-//! chaos-explore [--seeds N] [--seed-start N] [--seed N]
+//! chaos-explore [--seeds N] [--seed-start N] [--seed N] [--jobs N]
 //!               [--stack kernel|user|user-dedicated|both]
 //!               [--rpcs N] [--broadcasts N] [--max-virtual-ms N]
 //!               [--verify-every N] [--no-minimize] [--verbose]
 //! ```
+//!
+//! `--jobs N` runs the sweep on N worker threads (`0` = one per core);
+//! results are reduced in seed order, so output, exit code, and every trace
+//! hash are identical for any job count.
 
 use std::process::ExitCode;
 
@@ -22,7 +26,7 @@ use desim::SimDuration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: chaos-explore [--seeds N] [--seed-start N] [--seed N]\n\
+        "usage: chaos-explore [--seeds N] [--seed-start N] [--seed N] [--jobs N]\n\
          \u{20}                    [--stack kernel|user|user-dedicated|both]\n\
          \u{20}                    [--rpcs N] [--broadcasts N] [--max-virtual-ms N]\n\
          \u{20}                    [--verify-every N] [--no-minimize] [--verbose]"
@@ -60,6 +64,7 @@ fn main() -> ExitCode {
             "--max-virtual-ms" => {
                 opts.max_virtual = SimDuration::from_millis(parse_u64(args.next()))
             }
+            "--jobs" => opts.jobs = parse_u64(args.next()) as usize,
             "--verify-every" => opts.verify_every = parse_u64(args.next()),
             "--no-minimize" => opts.minimize = false,
             "--verbose" => opts.verbose = true,
@@ -113,7 +118,9 @@ fn main() -> ExitCode {
         };
     }
 
+    let wall_start = std::time::Instant::now();
     let summary = explore(&opts);
+    let wall = wall_start.elapsed();
     println!(
         "chaos-explore: {} runs, {} failures, {} nondeterministic, \
          {} null plans, recovery traffic {}",
@@ -122,6 +129,12 @@ fn main() -> ExitCode {
         summary.nondeterministic.len(),
         summary.null_plans,
         summary.recovery_traffic
+    );
+    println!(
+        "chaos-explore: {} jobs, {:.2}s wall, {:.1} seeds/sec",
+        desim::par::effective_jobs(opts.jobs),
+        wall.as_secs_f64(),
+        summary.runs as f64 / wall.as_secs_f64().max(1e-9)
     );
     if summary.failures.is_empty() && summary.nondeterministic.is_empty() {
         ExitCode::SUCCESS

@@ -26,7 +26,7 @@ pub const N_NODES: u32 = 3;
 
 /// Everything that defines one chaos run. Same config → same outcome,
 /// bit for bit.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChaosConfig {
     /// Which stack to run.
     pub stack: Stack,

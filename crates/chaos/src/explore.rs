@@ -1,7 +1,14 @@
 //! The seed sweep: run many fault plans, report failures with a one-line
 //! repro command and a minimized plan, and spot-check determinism by
 //! re-running a sample of seeds.
+//!
+//! Independent seeds are embarrassingly parallel, so the sweep fans runs
+//! out over a [`desim::par`] worker pool (`jobs` workers) and then reduces
+//! strictly in seed order: the printed report, the pass counts, and every
+//! per-seed trace hash are byte-identical to a serial (`jobs = 1`) run —
+//! parallelism buys wall-clock time, never different results.
 
+use desim::par::par_map;
 use desim::SimDuration;
 
 use crate::engine::{run_chaos, ChaosConfig, ChaosOutcome};
@@ -30,6 +37,10 @@ pub struct ExploreOptions {
     pub minimize: bool,
     /// Print per-run progress lines.
     pub verbose: bool,
+    /// Worker threads for the sweep and for minimizer candidate re-runs
+    /// (`0` = auto-detect, `1` = serial). Results are reduced in seed order,
+    /// so any value produces identical output.
+    pub jobs: usize,
 }
 
 impl Default for ExploreOptions {
@@ -44,12 +55,13 @@ impl Default for ExploreOptions {
             verify_every: 50,
             minimize: true,
             verbose: false,
+            jobs: 1,
         }
     }
 }
 
 /// One failing seed, with everything needed to reproduce and understand it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FailureReport {
     /// The failing configuration.
     pub config: ChaosConfig,
@@ -61,7 +73,7 @@ pub struct FailureReport {
 }
 
 /// Sweep totals.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExploreSummary {
     /// Runs completed (excluding determinism re-runs).
     pub runs: u64,
@@ -74,6 +86,10 @@ pub struct ExploreSummary {
     pub failures: Vec<FailureReport>,
     /// Seeds whose determinism spot-check found diverging trace hashes.
     pub nondeterministic: Vec<(Stack, u64)>,
+    /// Per-run trace hash for every `(stack, seed)` of the sweep, in sweep
+    /// order. Lets callers assert that two sweeps (e.g. serial vs parallel)
+    /// produced bit-identical runs.
+    pub seed_hashes: Vec<(Stack, u64, u64)>,
 }
 
 /// The one-line command that reproduces a single run.
@@ -89,23 +105,48 @@ pub fn repro_command(cfg: &ChaosConfig) -> String {
     )
 }
 
-/// Greedily minimizes a failing plan: repeatedly adopt any single-step
-/// simplification that still fails, until none does.
+/// Greedily minimizes a failing plan serially; see [`minimize_jobs`].
 pub fn minimize(cfg: &ChaosConfig) -> FaultPlan {
+    minimize_jobs(cfg, 1)
+}
+
+/// Greedily minimizes a failing plan: repeatedly adopt the *first*
+/// single-step simplification (in [`FaultPlan::simplifications`] order)
+/// that still fails, until none does.
+///
+/// With `jobs > 1` every candidate of a round is re-run in parallel and the
+/// first failing one (in candidate order) is adopted — the same plan the
+/// serial early-exit loop adopts, so the result is independent of `jobs`.
+pub fn minimize_jobs(cfg: &ChaosConfig, jobs: usize) -> FaultPlan {
+    let jobs = desim::par::effective_jobs(jobs);
     let mut best = cfg.plan.clone();
     loop {
-        let mut improved = false;
-        for (_desc, candidate) in best.simplifications() {
-            let mut c = cfg.clone();
-            c.plan = candidate.clone();
-            if !run_chaos(&c).violations.is_empty() {
-                best = candidate;
-                improved = true;
-                break;
-            }
-        }
-        if !improved {
-            return best;
+        let candidates = best.simplifications();
+        let adopted = if jobs > 1 {
+            let still_fails = par_map(jobs, candidates.len(), |i| {
+                let mut c = cfg.clone();
+                c.plan = candidates[i].1.clone();
+                !run_chaos(&c).violations.is_empty()
+            });
+            candidates
+                .into_iter()
+                .zip(still_fails)
+                .find(|(_, fails)| *fails)
+                .map(|((_desc, plan), _)| plan)
+        } else {
+            candidates.into_iter().find_map(|(_desc, candidate)| {
+                let mut c = cfg.clone();
+                c.plan = candidate.clone();
+                if !run_chaos(&c).violations.is_empty() {
+                    Some(candidate)
+                } else {
+                    None
+                }
+            })
+        };
+        match adopted {
+            Some(plan) => best = plan,
+            None => return best,
         }
     }
 }
@@ -117,6 +158,10 @@ fn run_one(opts: &ExploreOptions, stack: Stack, seed: u64) -> (ChaosConfig, Chao
 }
 
 /// Runs the sweep, printing progress and failures to stdout.
+///
+/// With `opts.jobs > 1` the runs execute on a worker pool; the reduction
+/// below is strictly in seed order, so stdout and the returned summary are
+/// byte-identical for every job count.
 pub fn explore(opts: &ExploreOptions) -> ExploreSummary {
     let mut summary = ExploreSummary::default();
     for &stack in &opts.stacks {
@@ -126,11 +171,27 @@ pub fn explore(opts: &ExploreOptions) -> ExploreSummary {
             opts.seed_start,
             opts.seed_start + opts.seeds
         );
+        // Fan out: every seed's run (plus its determinism re-run, when
+        // sampled) is independent.
+        let results: Vec<(ChaosConfig, ChaosOutcome, Option<ChaosOutcome>)> =
+            par_map(opts.jobs, opts.seeds as usize, |i| {
+                let seed = opts.seed_start + i as u64;
+                let (cfg, outcome) = run_one(opts, stack, seed);
+                let recheck =
+                    if opts.verify_every > 0 && (i as u64).is_multiple_of(opts.verify_every) {
+                        Some(run_one(opts, stack, seed).1)
+                    } else {
+                        None
+                    };
+                (cfg, outcome, recheck)
+            });
+        // Reduce in seed order.
         let mut pass = 0u64;
-        for seed in opts.seed_start..opts.seed_start + opts.seeds {
-            let (cfg, outcome) = run_one(opts, stack, seed);
+        for (cfg, outcome, recheck) in results {
+            let seed = cfg.seed;
             summary.runs += 1;
             summary.recovery_traffic += outcome.recovery_traffic;
+            summary.seed_hashes.push((stack, seed, outcome.trace_hash));
             if cfg.plan.is_null() {
                 summary.null_plans += 1;
             }
@@ -158,7 +219,7 @@ pub fn explore(opts: &ExploreOptions) -> ExploreSummary {
                 }
                 println!("    repro: {}", repro_command(&cfg));
                 let minimized = if opts.minimize {
-                    let m = minimize(&cfg);
+                    let m = minimize_jobs(&cfg, opts.jobs);
                     println!("    minimized fault plan:");
                     print!("{m}");
                     m
@@ -171,8 +232,7 @@ pub fn explore(opts: &ExploreOptions) -> ExploreSummary {
                     minimized,
                 });
             }
-            if opts.verify_every > 0 && (seed - opts.seed_start).is_multiple_of(opts.verify_every) {
-                let (_, again) = run_one(opts, stack, seed);
+            if let Some(again) = recheck {
                 if again.trace_hash != outcome.trace_hash {
                     println!(
                         "  seed {seed} NONDETERMINISTIC: {:016x} vs {:016x}",

@@ -1,0 +1,62 @@
+//! The parallel sweep contract: any `--jobs` value produces bit-identical
+//! results. A sweep on 8 workers must return the same [`ExploreSummary`] —
+//! pass counts, failures, minimized plans, and every per-seed trace hash —
+//! as the serial sweep, even on a single-core host (where the pool still
+//! runs 8 OS threads and real interleavings).
+
+use chaos::explore::{explore, minimize_jobs, ExploreOptions};
+use chaos::{ChaosConfig, Stack};
+use desim::SimDuration;
+
+fn small_sweep(jobs: usize) -> chaos::explore::ExploreSummary {
+    let opts = ExploreOptions {
+        stacks: vec![Stack::Kernel, Stack::User],
+        seeds: 12,
+        seed_start: 0,
+        rpcs: 6,
+        broadcasts: 4,
+        max_virtual: SimDuration::from_millis(500),
+        verify_every: 4,
+        minimize: true,
+        verbose: false,
+        jobs,
+    };
+    explore(&opts)
+}
+
+#[test]
+fn jobs8_sweep_is_bit_identical_to_serial() {
+    let serial = small_sweep(1);
+    let parallel = small_sweep(8);
+    assert_eq!(serial.runs, 24);
+    assert_eq!(
+        serial.seed_hashes.len(),
+        24,
+        "every run records a trace hash"
+    );
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn auto_jobs_sweep_is_bit_identical_to_serial() {
+    let serial = small_sweep(1);
+    let auto = small_sweep(0);
+    assert_eq!(serial, auto);
+}
+
+#[test]
+fn parallel_minimizer_matches_serial() {
+    // Minimization only runs on failing seeds, which a healthy tree does
+    // not have — so exercise the minimizer directly on generated plans and
+    // assert the parallel candidate evaluation adopts the same plan as the
+    // serial early-exit loop. (On a passing config both immediately return
+    // the original plan, which still pins the jobs-independence contract.)
+    for seed in [3u64, 11, 42] {
+        let cfg = ChaosConfig::for_seed(Stack::User, seed, 4, 3, SimDuration::from_millis(500));
+        assert_eq!(
+            minimize_jobs(&cfg, 1),
+            minimize_jobs(&cfg, 8),
+            "seed {seed}: minimizer result must not depend on jobs"
+        );
+    }
+}

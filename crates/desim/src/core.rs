@@ -11,10 +11,11 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering as AtomicOrdering};
+use std::sync::{Arc, OnceLock};
+use std::thread::Thread;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
@@ -74,64 +75,103 @@ pub(crate) enum ThreadState {
     Finished,
 }
 
-/// Hand-off cell between the scheduler and one simulated thread.
-pub(crate) struct Conduit {
-    turn: Mutex<Turn>,
-    cv: Condvar,
+const TURN_SCHEDULER: u8 = 0;
+const TURN_THREAD: u8 = 1;
+
+/// Whether this host has more than one hardware thread; probed once. On a
+/// multicore box the hand-off partner can flip the turn while we spin, so a
+/// short spin before parking skips the futex syscall on the common path. On
+/// a single core spinning only burns the quantum the partner needs.
+fn spin_before_park() -> bool {
+    static MULTICORE: OnceLock<bool> = OnceLock::new();
+    *MULTICORE.get_or_init(|| std::thread::available_parallelism().is_ok_and(|n| n.get() > 1))
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Turn {
-    Scheduler,
-    Thread,
+/// Hand-off cell between the scheduler and one simulated thread.
+///
+/// The turn is a single atomic flipped with release/acquire ordering and the
+/// waiting side parks its OS thread (`std::thread::park`), so a hand-off is
+/// one store + one targeted `unpark` instead of the previous
+/// Mutex+Condvar ping-pong (lock, broadcast, re-lock on wake). Each side
+/// registers its `Thread` handle before first waiting; a granter that runs
+/// before the handle is registered skips the unpark, which is safe because
+/// the registrant re-checks the turn after registering and never parks on a
+/// turn it already holds. Stale unpark tokens (from a grant that raced a
+/// non-parked partner) only cause one spurious loop iteration.
+pub(crate) struct Conduit {
+    /// [`TURN_SCHEDULER`] or [`TURN_THREAD`]; release/acquire hand-off.
+    turn: AtomicU8,
+    /// OS-thread handle of the scheduler side. Re-registered on every
+    /// `resume_and_wait` because the `Simulation` may move between OS
+    /// threads across runs; the lock is never contended (strict
+    /// alternation), so it costs one CAS.
+    sched: Mutex<Option<Thread>>,
+    /// OS-thread handle backing the simulated thread; set exactly once.
+    thread: OnceLock<Thread>,
 }
 
 impl Conduit {
     pub(crate) fn new() -> Arc<Self> {
         Arc::new(Conduit {
-            turn: Mutex::new(Turn::Scheduler),
-            cv: Condvar::new(),
+            turn: AtomicU8::new(TURN_SCHEDULER),
+            sched: Mutex::new(None),
+            thread: OnceLock::new(),
         })
+    }
+
+    #[inline]
+    fn wait_until(&self, want: u8) {
+        if spin_before_park() {
+            for _ in 0..128 {
+                if self.turn.load(AtomicOrdering::Acquire) == want {
+                    return;
+                }
+                std::hint::spin_loop();
+            }
+        }
+        while self.turn.load(AtomicOrdering::Acquire) != want {
+            std::thread::park();
+        }
     }
 
     /// Scheduler side: give the thread the turn and wait until it yields back.
     pub(crate) fn resume_and_wait(&self) {
-        let mut g = self.turn.lock();
-        *g = Turn::Thread;
-        self.cv.notify_all();
-        while *g == Turn::Thread {
-            self.cv.wait(&mut g);
+        *self.sched.lock() = Some(std::thread::current());
+        self.turn.store(TURN_THREAD, AtomicOrdering::Release);
+        if let Some(t) = self.thread.get() {
+            t.unpark();
         }
+        self.wait_until(TURN_SCHEDULER);
     }
 
     /// Thread side: wait until the scheduler gives us the turn (initial start).
     pub(crate) fn wait_for_turn(&self) {
-        let mut g = self.turn.lock();
-        while *g == Turn::Scheduler {
-            self.cv.wait(&mut g);
-        }
+        let _ = self.thread.set(std::thread::current());
+        self.wait_until(TURN_THREAD);
     }
 
     /// Thread side: yield the turn to the scheduler and wait to be resumed.
     pub(crate) fn yield_to_scheduler(&self) {
-        let mut g = self.turn.lock();
-        *g = Turn::Scheduler;
-        self.cv.notify_all();
-        while *g == Turn::Scheduler {
-            self.cv.wait(&mut g);
+        self.turn.store(TURN_SCHEDULER, AtomicOrdering::Release);
+        if let Some(t) = self.sched.lock().as_ref() {
+            t.unpark();
         }
+        self.wait_until(TURN_THREAD);
     }
 
     /// Thread side: final yield on exit; does not wait for another turn.
     pub(crate) fn final_yield(&self) {
-        let mut g = self.turn.lock();
-        *g = Turn::Scheduler;
-        self.cv.notify_all();
+        self.turn.store(TURN_SCHEDULER, AtomicOrdering::Release);
+        if let Some(t) = self.sched.lock().as_ref() {
+            t.unpark();
+        }
     }
 }
 
 pub(crate) struct ThreadRecord {
-    pub name: String,
+    /// Shared so diagnostics and tracing can take a reference-counted copy
+    /// instead of allocating a fresh `String` on hot paths.
+    pub name: Arc<str>,
     pub proc: ProcId,
     pub conduit: Arc<Conduit>,
     pub state: ThreadState,
@@ -180,7 +220,9 @@ struct Event {
 
 impl PartialEq for Event {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        // Must agree with `Ord::cmp` below: compare the full
+        // (time, tie, seq) key, not just (time, seq).
+        (self.time, self.tie, self.seq) == (other.time, other.tie, other.seq)
     }
 }
 impl Eq for Event {}
@@ -200,7 +242,7 @@ impl Ord for Event {
 
 pub(crate) struct TraceEntry {
     pub time: SimTime,
-    pub thread: String,
+    pub thread: Arc<str>,
     pub message: String,
 }
 
@@ -305,6 +347,24 @@ pub(crate) struct Core {
     /// Mirrors `CoreState::tracer.is_some()`; lives outside the mutex so
     /// disabled-tracing call sites pay one relaxed load and nothing else.
     pub trace_on: AtomicBool,
+    /// Set by a simulated thread's exit path when its body panicked, so
+    /// [`Core::step`]'s non-panic path is one relaxed load instead of a
+    /// second state-lock acquisition per event.
+    panicked: AtomicBool,
+}
+
+/// How [`Core::step`] left the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StepResult {
+    /// A thread was resumed and yielded back (stale wakes may have been
+    /// skipped on the way).
+    Progress,
+    /// The event queue is empty.
+    Drained,
+    /// The `stop_on` thread has finished.
+    TargetFinished,
+    /// `events_processed` reached the configured limit.
+    LimitExceeded,
 }
 
 impl Core {
@@ -313,7 +373,7 @@ impl Core {
             state: Mutex::new(CoreState {
                 now: SimTime::ZERO,
                 seq: 0,
-                queue: BinaryHeap::new(),
+                queue: BinaryHeap::with_capacity(256),
                 threads: Vec::new(),
                 procs: Vec::new(),
                 events_processed: 0,
@@ -325,6 +385,7 @@ impl Core {
                 tracer: None,
             }),
             trace_on: AtomicBool::new(false),
+            panicked: AtomicBool::new(false),
         })
     }
 
@@ -373,7 +434,7 @@ impl Core {
             );
             tid = ThreadId(st.threads.len());
             st.threads.push(ThreadRecord {
-                name: name.to_owned(),
+                name: Arc::from(name),
                 proc,
                 conduit: Arc::clone(&conduit),
                 state: ThreadState::Blocked,
@@ -416,6 +477,9 @@ impl Core {
                 }
                 {
                     let mut st = core.state.lock();
+                    if panic_msg.is_some() {
+                        core.panicked.store(true, AtomicOrdering::Release);
+                    }
                     let joiners = {
                         let rec = &mut st.threads[tid.0];
                         rec.state = ThreadState::Finished;
@@ -434,42 +498,70 @@ impl Core {
         tid
     }
 
-    /// Processes the next event. Returns `false` when the queue is empty.
+    /// Advances the simulation by one thread resumption: pops events —
+    /// skipping stale wakes without releasing the state lock — until one
+    /// resumes a thread, the queue drains, `stop_on` finishes, or the event
+    /// budget runs out. Each popped event (stale or not) advances the clock
+    /// and the `events_processed` counter exactly as it always has, so
+    /// virtual time and event counts are independent of this batching.
     ///
     /// # Panics
     ///
     /// Propagates panics from simulated threads.
-    pub(crate) fn step(self: &Arc<Self>) -> bool {
-        let resume = {
+    pub(crate) fn step(
+        self: &Arc<Self>,
+        stop_on: Option<ThreadId>,
+        limit: Option<u64>,
+    ) -> StepResult {
+        let (tid, conduit) = {
             let mut st = self.state.lock();
-            let Some(ev) = st.pop_event() else {
-                return false;
-            };
-            debug_assert!(ev.time >= st.now);
-            st.now = ev.time;
-            st.events_processed += 1;
-            let rec = &mut st.threads[ev.thread.0];
-            if rec.state == ThreadState::Blocked && rec.wait_id == ev.wait_id {
-                rec.state = ThreadState::Running;
-                let conduit = Arc::clone(&rec.conduit);
-                st.trace_event(ev.thread, Layer::Sched, Phase::Instant, "wake", &[]);
-                Some((ev.thread, conduit))
-            } else {
-                None // stale wake; the thread moved on or already finished
+            loop {
+                if let Some(t) = stop_on {
+                    if st.threads[t.0].state == ThreadState::Finished {
+                        return StepResult::TargetFinished;
+                    }
+                }
+                if let Some(l) = limit {
+                    if st.events_processed >= l {
+                        return StepResult::LimitExceeded;
+                    }
+                }
+                let Some(ev) = st.pop_event() else {
+                    return StepResult::Drained;
+                };
+                debug_assert!(ev.time >= st.now);
+                st.now = ev.time;
+                st.events_processed += 1;
+                let rec = &mut st.threads[ev.thread.0];
+                if rec.state == ThreadState::Blocked && rec.wait_id == ev.wait_id {
+                    rec.state = ThreadState::Running;
+                    // Raw pointer instead of `Arc::clone`: the conduit must
+                    // outlive the unlock below, which it does because thread
+                    // records (and the `Arc`s they hold) are never removed
+                    // while the `Core` behind `self` is alive, and the
+                    // `Arc`'s pointee is heap-stable across `threads` Vec
+                    // reallocations. This saves two refcount RMWs per event.
+                    let conduit: *const Conduit = Arc::as_ptr(&rec.conduit);
+                    st.trace_event(ev.thread, Layer::Sched, Phase::Instant, "wake", &[]);
+                    break (ev.thread, conduit);
+                }
+                // Stale wake — the thread moved on or already finished; keep
+                // the lock and pop the next event.
             }
         };
-        if let Some((tid, conduit)) = resume {
-            conduit.resume_and_wait();
+        // SAFETY: see the comment at `Arc::as_ptr` above.
+        unsafe { (*conduit).resume_and_wait() };
+        if self.panicked.load(AtomicOrdering::Acquire) {
             let panic_info = {
                 let mut st = self.state.lock();
                 let rec = &mut st.threads[tid.0];
-                rec.panic.take().map(|msg| (rec.name.clone(), msg))
+                rec.panic.take().map(|msg| (Arc::clone(&rec.name), msg))
             };
             if let Some((name, msg)) = panic_info {
                 panic!("simulated thread '{name}' panicked: {msg}");
             }
         }
-        true
+        StepResult::Progress
     }
 
     pub(crate) fn initiate_shutdown(self: &Arc<Self>) {

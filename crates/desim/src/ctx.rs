@@ -76,7 +76,7 @@ impl Ctx {
 
     /// Returns this thread's diagnostic name.
     pub fn name(&self) -> String {
-        self.core.state.lock().threads[self.tid.0].name.clone()
+        self.core.state.lock().threads[self.tid.0].name.to_string()
     }
 
     /// Yields control and resumes once the registered wake fires.
@@ -379,7 +379,9 @@ impl Ctx {
             return;
         }
         let now = st.now;
-        let name = st.threads[self.tid.0].name.clone();
+        // Refcount bump, not a `String` allocation — this is the only
+        // per-message cost besides the push itself.
+        let name = std::sync::Arc::clone(&st.threads[self.tid.0].name);
         let cap = st.trace_cap;
         if let Some(buf) = st.trace.as_mut() {
             if buf.len() < cap {

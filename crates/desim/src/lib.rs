@@ -46,6 +46,7 @@
 mod channel;
 mod core;
 mod ctx;
+pub mod par;
 mod sim;
 mod sync;
 mod time;

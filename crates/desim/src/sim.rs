@@ -3,7 +3,9 @@
 use std::fmt;
 use std::sync::Arc;
 
-use crate::core::{install_quiet_shutdown_hook, Core, ProcId, ThreadId, ThreadState, WakeStatus};
+use crate::core::{
+    install_quiet_shutdown_hook, Core, ProcId, StepResult, ThreadId, ThreadState, WakeStatus,
+};
 use crate::ctx::Ctx;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{CounterSnapshot, TraceEvent, Tracer};
@@ -258,19 +260,18 @@ impl Simulation {
     }
 
     fn run_inner(&mut self, stop_on: Option<ThreadId>) -> Result<SimReport, SimError> {
+        // The stop/limit checks live inside `Core::step` so the whole event
+        // loop — including skipping stale wakes — runs under a single state
+        // lock acquisition per resumption.
         loop {
-            if let Some(tid) = stop_on {
-                if self.core.state.lock().threads[tid.0].state == ThreadState::Finished {
-                    return Ok(self.report());
-                }
-            }
-            if let Some(limit) = self.max_events {
-                if self.core.state.lock().events_processed >= limit {
+            match self.core.step(stop_on, self.max_events) {
+                StepResult::Progress => {}
+                StepResult::TargetFinished => return Ok(self.report()),
+                StepResult::LimitExceeded => {
+                    let limit = self.max_events.expect("limit was configured");
                     return Err(SimError::EventLimitExceeded { limit });
                 }
-            }
-            if !self.core.step() {
-                break;
+                StepResult::Drained => break,
             }
         }
         // Queue drained: every non-daemon thread must have finished.
@@ -279,7 +280,7 @@ impl Simulation {
             st.threads
                 .iter()
                 .filter(|t| t.state != ThreadState::Finished && !t.daemon)
-                .map(|t| (t.name.clone(), t.blocked_on))
+                .map(|t| (t.name.to_string(), t.blocked_on))
                 .collect()
         };
         if !blocked.is_empty() || stop_on.is_some() {
@@ -394,7 +395,7 @@ impl Simulation {
             .lock()
             .threads
             .iter()
-            .map(|t| t.name.clone())
+            .map(|t| t.name.to_string())
             .collect()
     }
 

@@ -1,7 +1,8 @@
 //! Integration tests for the desim scheduler, CPU model, and determinism.
 
 use desim::{
-    ms, us, SimChannel, SimDuration, SimError, SimMutex, SimTime, Simulation, SwitchCharge,
+    ms, secs, us, SimChannel, SimCondvar, SimDuration, SimError, SimMutex, SimTime, Simulation,
+    SwitchCharge,
 };
 
 #[test]
@@ -327,4 +328,70 @@ fn compute_sliced_rejects_zero_quantum() {
         ctx.compute_sliced(ms(1), SimDuration::ZERO);
     });
     let _ = sim.run();
+}
+
+#[test]
+fn shutdown_under_load_reclaims_threads_blocked_in_every_primitive() {
+    // Drop the simulation while threads are parked in every blocking
+    // primitive; shutdown must unpark and unwind all of them (the test
+    // passing IS the assertion — a lost wakeup would hang here forever).
+    use std::sync::Arc;
+
+    let mut sim = Simulation::new(321);
+    let m0 = sim.add_processor("m0");
+    let m1 = sim.add_processor("m1");
+    let mutex = Arc::new(SimMutex::new(0u32));
+    let cv = Arc::new(SimCondvar::new());
+    let cv_mutex = Arc::new(SimMutex::new(false));
+    let never: SimChannel<u8> = SimChannel::new();
+
+    // Holds the mutex forever (blocked in chan.recv with the guard live).
+    let holder_mutex = Arc::clone(&mutex);
+    let holder_ch = never.clone();
+    let holder = sim.spawn(m0, "holder", move |ctx| {
+        let _guard = holder_mutex.lock(ctx);
+        let _ = holder_ch.recv(ctx);
+    });
+    // Blocked in mutex.lock.
+    let waiter_mutex = Arc::clone(&mutex);
+    sim.spawn(m0, "mutex-waiter", move |ctx| {
+        ctx.sleep(us(1)); // let the holder take it first
+        let _guard = waiter_mutex.lock(ctx);
+    });
+    // Blocked in condvar.wait.
+    let w_cv = Arc::clone(&cv);
+    let w_cv_mutex = Arc::clone(&cv_mutex);
+    sim.spawn(m0, "cv-waiter", move |ctx| {
+        let guard = w_cv_mutex.lock(ctx);
+        let _guard = w_cv.wait(ctx, guard);
+    });
+    // Blocked in chan.recv.
+    let rx = never.clone();
+    sim.spawn(m0, "recv-waiter", move |ctx| {
+        let _ = rx.recv(ctx);
+    });
+    // Blocked in the timer wheel.
+    sim.spawn(m0, "sleeper", move |ctx| {
+        ctx.sleep(secs(1000));
+    });
+    // Blocked in join (the holder never finishes).
+    let join_target = holder.clone();
+    sim.spawn(m0, "joiner", move |ctx| {
+        join_target.join(ctx);
+    });
+    // Blocked waiting for a CPU another thread occupies.
+    sim.spawn(m1, "hog", move |ctx| {
+        ctx.compute(secs(1000));
+    });
+    sim.spawn(m1, "cpu-waiter", move |ctx| {
+        ctx.sleep(us(1));
+        ctx.compute(us(1));
+    });
+
+    let controller = sim.spawn(m0, "controller", move |ctx| {
+        ctx.sleep(us(10));
+    });
+    sim.run_until_finished(&controller)
+        .expect("controller finishes while everyone else is parked");
+    drop(sim); // initiate_shutdown: every parked thread must unwind
 }
