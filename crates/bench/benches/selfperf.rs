@@ -10,7 +10,25 @@
 
 use std::process::ExitCode;
 
-use bench::selfperf::{self, BASELINE_PINGPONG_NS_PER_EVENT, BASELINE_SLEEPSTORM_NS_PER_EVENT};
+use bench::selfperf::{
+    self, BASELINE_FANOUT_NS_PER_EVENT, BASELINE_PINGPONG_NS_PER_EVENT,
+    BASELINE_QUEUE_NS_PER_EVENT, BASELINE_SLEEPSTORM_NS_PER_EVENT,
+};
+
+/// The four hot paths with their recorded baselines, shared by the print
+/// and gate loops.
+fn hot_paths(report: &selfperf::SelfPerfReport) -> [(&'static str, &selfperf::HotPath, f64); 4] {
+    [
+        ("pingpong", &report.pingpong, BASELINE_PINGPONG_NS_PER_EVENT),
+        (
+            "sleepstorm",
+            &report.sleepstorm,
+            BASELINE_SLEEPSTORM_NS_PER_EVENT,
+        ),
+        ("fanout", &report.fanout, BASELINE_FANOUT_NS_PER_EVENT),
+        ("queue", &report.queue, BASELINE_QUEUE_NS_PER_EVENT),
+    ]
+}
 
 fn out_path() -> std::path::PathBuf {
     if let Ok(p) = std::env::var("SELFPERF_OUT") {
@@ -32,14 +50,7 @@ fn main() -> ExitCode {
         if quick { "quick" } else { "full" },
         report.host_cores
     );
-    for (name, hot, baseline) in [
-        ("pingpong", &report.pingpong, BASELINE_PINGPONG_NS_PER_EVENT),
-        (
-            "sleepstorm",
-            &report.sleepstorm,
-            BASELINE_SLEEPSTORM_NS_PER_EVENT,
-        ),
-    ] {
+    for (name, hot, baseline) in hot_paths(&report) {
         println!(
             "  {name:<10} {:>9} events  {:>8.0} ns/event  {:>10.0} events/s  \
              (baseline {:.0} ns/event, {:.1}x faster)",
@@ -84,14 +95,7 @@ fn main() -> ExitCode {
             eprintln!("selfperf GATE: serial and parallel sweeps diverged");
             failed = true;
         }
-        for (name, hot, baseline) in [
-            ("pingpong", &report.pingpong, BASELINE_PINGPONG_NS_PER_EVENT),
-            (
-                "sleepstorm",
-                &report.sleepstorm,
-                BASELINE_SLEEPSTORM_NS_PER_EVENT,
-            ),
-        ] {
+        for (name, hot, baseline) in hot_paths(&report) {
             if hot.ns_per_event() > baseline * 3.0 {
                 eprintln!(
                     "selfperf GATE: {name} at {:.0} ns/event, over 3x the \

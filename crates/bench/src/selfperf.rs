@@ -2,18 +2,24 @@
 //! this crate measures *virtual* time; this module measures how fast the
 //! host machine grinds through simulated events).
 //!
-//! Two hot-path microworkloads exercise the scheduler handoff directly:
+//! Four hot-path microworkloads exercise the scheduler directly:
 //!
 //! - **pingpong**: two simulated threads on two processors bouncing a value
 //!   over a pair of [`SimChannel`]s — every event is a cross-thread handoff;
 //! - **sleepstorm**: one thread sleeping in 10 ns steps — every event is a
-//!   timer wake of the same thread.
+//!   timer wake of the same thread;
+//! - **fanout**: one sender storming multicast frames into a 32-member
+//!   group on a shared Ethernet segment — every frame is one batched
+//!   fan-out enqueuing on all members at once;
+//! - **queue**: dozens of sleepers on staggered strides, keeping that many
+//!   timers simultaneously live in the far tier of the event queue — pure
+//!   queue churn, every pop re-pushing into a deep heap.
 //!
-//! A third workload times the chaos seed sweep end-to-end, serial vs
+//! A fifth workload times the chaos seed sweep end-to-end, serial vs
 //! parallel, and folds every per-run trace hash into one aggregate so the
 //! two sweeps can be checked for bit-identical results.
 //!
-//! The `selfperf` bench binary runs all three and writes
+//! The `selfperf` bench binary runs all five and writes
 //! `BENCH_selfperf.json` at the repository root.
 
 use std::time::Instant;
@@ -21,15 +27,24 @@ use std::time::Instant;
 use chaos::{run_chaos, ChaosConfig, Stack};
 use desim::par::par_map;
 use desim::{SimChannel, SimDuration, Simulation};
+use ethernet::{Dest, MacAddr, McastAddr, NetConfig, Network};
 
-/// Scheduler hot-path numbers recorded immediately before the park/unpark
-/// rewrite (condvar-based handoff, commit d56f4d6), for regression context
-/// in the report. Median of 3 runs on the 1-core reference container.
-pub const BASELINE_PINGPONG_NS_PER_EVENT: f64 = 8299.0;
+/// Scheduler hot-path numbers recorded immediately before the event-queue,
+/// hand-off, and fan-out overhaul (park/unpark scheduler with a single
+/// binary heap, commit e29c7fb), for regression context in the report.
+/// Median of 3 runs on the 1-core reference container.
+pub const BASELINE_PINGPONG_NS_PER_EVENT: f64 = 2512.2;
 /// See [`BASELINE_PINGPONG_NS_PER_EVENT`].
-pub const BASELINE_SLEEPSTORM_NS_PER_EVENT: f64 = 8193.0;
+pub const BASELINE_SLEEPSTORM_NS_PER_EVENT: f64 = 2823.7;
+/// Fan-out baseline, measured at the introduction of the bench (the batched
+/// broadcast delivery landed in the same change, so this is the post-batch
+/// number; there is no single-heap measurement to compare against).
+pub const BASELINE_FANOUT_NS_PER_EVENT: f64 = 1425.0;
+/// Queue-churn baseline; same provenance as [`BASELINE_FANOUT_NS_PER_EVENT`].
+pub const BASELINE_QUEUE_NS_PER_EVENT: f64 = 1702.0;
 /// Where the baseline numbers come from.
-pub const BASELINE_NOTE: &str = "pre-park/unpark condvar scheduler, commit d56f4d6";
+pub const BASELINE_NOTE: &str =
+    "pre-overhaul single-heap park/unpark scheduler, commit e29c7fb (fanout/queue: first recording)";
 
 /// One hot-path measurement.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,6 +108,66 @@ pub fn sleepstorm(wakes: u64) -> HotPath {
     });
     let t0 = Instant::now();
     sim.run().expect("sleepstorm completes");
+    HotPath {
+        events: sim.report().events,
+        wall_ns: t0.elapsed().as_nanos() as u64,
+    }
+}
+
+/// Multicast broadcast storm: one sender fires `frames` back-to-back
+/// frames into a `members`-strong group on a shared segment while every
+/// member thread drains its receive channel. Each frame exercises the
+/// batched fan-out delivery path — one pass over the segment's
+/// attachments, deferred enqueues, and a single wake-commit.
+pub fn fanout(members: u32, frames: u64) -> HotPath {
+    let mut sim = Simulation::new(11);
+    let mut net = Network::new(NetConfig::default());
+    let seg = net.add_segment(&mut sim, "s0");
+    let group = McastAddr(1);
+    for i in 0..members {
+        let nic = net.attach(MacAddr(1 + i), seg);
+        nic.join_group(group);
+        let proc = sim.add_processor(&format!("m{i}"));
+        sim.spawn(proc, &format!("rx{i}"), move |ctx| {
+            for _ in 0..frames {
+                nic.rx().recv(ctx);
+            }
+        });
+    }
+    let sender = net.attach(MacAddr(0), seg);
+    let tx = sim.add_processor("tx");
+    sim.spawn(tx, "tx", move |ctx| {
+        let payload = bytes::Bytes::from_static(&[0u8; 64]);
+        for _ in 0..frames {
+            sender.send(ctx, Dest::Multicast(group), payload.clone());
+        }
+    });
+    let t0 = Instant::now();
+    sim.run().expect("fanout completes");
+    HotPath {
+        events: sim.report().events,
+        wall_ns: t0.elapsed().as_nanos() as u64,
+    }
+}
+
+/// Queue churn: `sleepers` threads each sleeping `wakes` times on distinct
+/// staggered strides, so the event queue permanently holds `sleepers` live
+/// future timers. Every pop advances the clock and immediately re-pushes
+/// into a deep far tier — the workload where the queue itself, not the
+/// thread hand-off, dominates the per-event cost.
+pub fn queue_churn(sleepers: u32, wakes: u64) -> HotPath {
+    let mut sim = Simulation::new(13);
+    for i in 0..sleepers {
+        let proc = sim.add_processor(&format!("p{i}"));
+        let stride = 11 + u64::from(i * 7 % 97);
+        sim.spawn(proc, &format!("z{i}"), move |ctx| {
+            for _ in 0..wakes {
+                ctx.sleep(SimDuration::from_nanos(stride));
+            }
+        });
+    }
+    let t0 = Instant::now();
+    sim.run().expect("queue churn completes");
     HotPath {
         events: sim.report().events,
         wall_ns: t0.elapsed().as_nanos() as u64,
@@ -169,6 +244,10 @@ pub struct SelfPerfReport {
     pub pingpong: HotPath,
     /// Timer-wake hot path.
     pub sleepstorm: HotPath,
+    /// Multicast broadcast-storm fan-out hot path.
+    pub fanout: HotPath,
+    /// Deep-queue timer-churn hot path.
+    pub queue: HotPath,
     /// The sweep on one worker.
     pub serial: SweepPerf,
     /// The sweep on many workers.
@@ -211,11 +290,13 @@ impl SelfPerfReport {
             )
         }
         format!(
-            "{{\n  \"schema\": \"selfperf-v1\",\n  \"generated_by\": \
+            "{{\n  \"schema\": \"selfperf-v2\",\n  \"generated_by\": \
              \"cargo bench -p bench --bench selfperf\",\n  \"quick\": {},\n  \
              \"host_cores\": {},\n  \"hot_path\": {{\n    \"pingpong\": {},\n    \
-             \"sleepstorm\": {}\n  }},\n  \"baseline_ns_per_event\": {{\n    \
-             \"pingpong\": {:.1},\n    \"sleepstorm\": {:.1},\n    \"note\": \
+             \"sleepstorm\": {},\n    \"fanout\": {},\n    \
+             \"queue\": {}\n  }},\n  \"baseline_ns_per_event\": {{\n    \
+             \"pingpong\": {:.1},\n    \"sleepstorm\": {:.1},\n    \
+             \"fanout\": {:.1},\n    \"queue\": {:.1},\n    \"note\": \
              \"{}\"\n  }},\n  \"sweep\": {{\n    \"serial\": {},\n    \
              \"parallel\": {},\n    \"speedup\": {:.2},\n    \
              \"deterministic\": {}\n  }}\n}}\n",
@@ -223,8 +304,12 @@ impl SelfPerfReport {
             self.host_cores,
             hot(&self.pingpong),
             hot(&self.sleepstorm),
+            hot(&self.fanout),
+            hot(&self.queue),
             BASELINE_PINGPONG_NS_PER_EVENT,
             BASELINE_SLEEPSTORM_NS_PER_EVENT,
+            BASELINE_FANOUT_NS_PER_EVENT,
+            BASELINE_QUEUE_NS_PER_EVENT,
             BASELINE_NOTE,
             sweep(&self.serial),
             sweep(&self.parallel),
@@ -236,16 +321,18 @@ impl SelfPerfReport {
 
 /// Runs the full self-measurement. `quick` shrinks every workload for CI.
 pub fn run(quick: bool) -> SelfPerfReport {
-    let (rounds, wakes, seeds, reps) = if quick {
-        (10_000, 20_000, 8, 1)
+    let (rounds, wakes, frames, churn, seeds, reps) = if quick {
+        (10_000, 20_000, 200, 500, 8, 1)
     } else {
-        (100_000, 200_000, 50, 3)
+        (100_000, 200_000, 2_000, 5_000, 50, 3)
     };
     SelfPerfReport {
         quick,
         host_cores: desim::par::default_jobs(),
         pingpong: median_of(reps, || pingpong(rounds)),
         sleepstorm: median_of(reps, || sleepstorm(wakes)),
+        fanout: median_of(reps, || fanout(32, frames)),
+        queue: median_of(reps, || queue_churn(64, churn)),
         serial: chaos_sweep_perf(seeds, 1),
         parallel: chaos_sweep_perf(seeds, 0),
     }
@@ -270,6 +357,17 @@ mod tests {
         let s = sleepstorm(100);
         assert!(s.events >= 100, "sleepstorm events: {}", s.events);
         assert!(p.ns_per_event() > 0.0 && s.events_per_sec() > 0.0);
+        let f = fanout(8, 20);
+        assert!(f.events >= 8 * 20, "fanout events: {}", f.events);
+        let q = queue_churn(16, 50);
+        assert!(q.events >= 16 * 50, "queue events: {}", q.events);
+    }
+
+    #[test]
+    fn fanout_is_deterministic() {
+        let a = fanout(8, 20);
+        let b = fanout(8, 20);
+        assert_eq!(a.events, b.events);
     }
 
     #[test]
@@ -284,6 +382,14 @@ mod tests {
             sleepstorm: HotPath {
                 events: 20,
                 wall_ns: 2000,
+            },
+            fanout: HotPath {
+                events: 30,
+                wall_ns: 3000,
+            },
+            queue: HotPath {
+                events: 40,
+                wall_ns: 4000,
             },
             serial: SweepPerf {
                 jobs: 1,
@@ -300,7 +406,9 @@ mod tests {
         };
         let json = report.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert!(json.contains("\"schema\": \"selfperf-v1\""));
+        assert!(json.contains("\"schema\": \"selfperf-v2\""));
+        assert!(json.contains("\"fanout\""));
+        assert!(json.contains("\"queue\""));
         assert!(json.contains("\"speedup\": 2.00"));
         assert!(json.contains("\"deterministic\": true"));
     }

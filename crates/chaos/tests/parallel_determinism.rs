@@ -45,6 +45,33 @@ fn auto_jobs_sweep_is_bit_identical_to_serial() {
 }
 
 #[test]
+fn broadcast_heavy_sweep_is_bit_identical_across_jobs() {
+    // Broadcast-dominated traffic drives the batched fan-out delivery path
+    // (one enqueue pass over every group member, deferred wake commit) far
+    // harder than the standard sweep mix — re-pins the jobs-independence
+    // contract specifically against the batching rewrite.
+    let sweep = |jobs: usize| {
+        let opts = ExploreOptions {
+            stacks: vec![Stack::Kernel, Stack::User],
+            seeds: 6,
+            seed_start: 100,
+            rpcs: 2,
+            broadcasts: 12,
+            max_virtual: SimDuration::from_millis(500),
+            verify_every: 3,
+            minimize: true,
+            verbose: false,
+            jobs,
+        };
+        explore(&opts)
+    };
+    let serial = sweep(1);
+    let parallel = sweep(8);
+    assert_eq!(serial.runs, 12);
+    assert_eq!(serial, parallel);
+}
+
+#[test]
 fn parallel_minimizer_matches_serial() {
     // Minimization only runs on failing seeds, which a healthy tree does
     // not have — so exercise the minimizer directly on generated plans and

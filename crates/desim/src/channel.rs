@@ -54,6 +54,23 @@ struct Inner<T> {
     closed: bool,
 }
 
+/// A receiver wake captured by [`SimChannel::send_deferred`] and not yet
+/// scheduled. Commit it (and any siblings, in capture order) with
+/// [`Ctx::commit_wakes`]; dropping it instead would strand a blocked
+/// receiver until its next timeout.
+#[derive(Debug)]
+#[must_use = "an uncommitted wake strands the blocked receiver"]
+pub struct PendingWake {
+    thread: ThreadId,
+    wait_id: u64,
+}
+
+impl PendingWake {
+    pub(crate) fn into_parts(self) -> (ThreadId, u64) {
+        (self.thread, self.wait_id)
+    }
+}
+
 /// An unbounded multi-producer multi-consumer FIFO channel in virtual time.
 ///
 /// # Examples
@@ -129,6 +146,32 @@ impl<T> SimChannel<T> {
             ctx.core().state.lock().schedule_wake_now(t, w);
         }
         Ok(())
+    }
+
+    /// Enqueues `value` like [`SimChannel::send`] but *defers* scheduling
+    /// the receiver's wake: if a receiver was blocked, its wake is returned
+    /// for the caller to commit via [`Ctx::commit_wakes`].
+    ///
+    /// This exists for broadcast fan-out: delivering one frame to N group
+    /// members costs N scheduler-lock round-trips with plain `send`; with
+    /// deferred sends the frames are enqueued first and all wakes are
+    /// scheduled in one batch. Committing the wakes in capture order makes
+    /// the result bit-identical to the unbatched sequence, because only the
+    /// sending thread runs between the enqueue and the commit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] with the value if the channel is closed.
+    pub fn send_deferred(&self, value: T) -> Result<Option<PendingWake>, SendError<T>> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Err(SendError(value));
+        }
+        inner.queue.push_back(value);
+        Ok(inner
+            .recv_waiters
+            .pop_front()
+            .map(|(thread, wait_id)| PendingWake { thread, wait_id }))
     }
 
     /// Receives the next message, blocking until one is available.

@@ -6,12 +6,26 @@
 //! and forth through a per-thread [`Conduit`]. Because of this strict
 //! alternation the global [`CoreState`] mutex is never contended; it exists
 //! to satisfy the borrow checker and `Send` bounds, not for parallelism.
+//!
+//! # Hot-path hand-off
+//!
+//! The scheduler is not the only party allowed to pop events. A thread that
+//! blocks pops the next live event itself under the same lock acquisition
+//! that would otherwise just publish its block: if the event wakes *itself*
+//! (a timer that is already due — the common case for `sleep`) it simply
+//! keeps running with **zero** OS-level switches; if it wakes another thread
+//! it grants that thread's conduit directly — **one** switch instead of the
+//! two (thread→scheduler, scheduler→thread) of a round trip through the
+//! scheduler. The scheduler only regains the turn when the chain breaks: the
+//! queue drains, the event budget runs out, or a thread finishes. Everything
+//! the scheduler observed per event before — clock advance, event counts,
+//! stale-wake skips, trace emission — happens identically inside
+//! [`CoreState::next_live`], which both parties share, so virtual time and
+//! traces are bit-identical to the scheduler-centric design.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::{Arc, OnceLock};
 use std::thread::Thread;
 
@@ -19,6 +33,7 @@ use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
+use crate::queue::{Event, EventQueue};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{ArgVec, Layer, Phase, TraceEvent, Tracer};
 use crate::Ctx;
@@ -75,8 +90,14 @@ pub(crate) enum ThreadState {
     Finished,
 }
 
-const TURN_SCHEDULER: u8 = 0;
-const TURN_THREAD: u8 = 1;
+const TURN_WAIT: u8 = 0;
+const TURN_RUN: u8 = 1;
+
+/// Grant kinds carried through a [`Conduit`]: why the thread was resumed.
+/// Replaces the post-wake `shutdown` re-check under the state lock — the
+/// granter already knows, so the woken side pays zero lock acquisitions.
+pub(crate) const GRANT_RUN: u8 = 0;
+pub(crate) const GRANT_SHUTDOWN: u8 = 1;
 
 /// Whether this host has more than one hardware thread; probed once. On a
 /// multicore box the hand-off partner can flip the turn while we spin, so a
@@ -87,25 +108,24 @@ fn spin_before_park() -> bool {
     *MULTICORE.get_or_init(|| std::thread::available_parallelism().is_ok_and(|n| n.get() > 1))
 }
 
-/// Hand-off cell between the scheduler and one simulated thread.
+/// Hand-off cell owned by one simulated thread.
 ///
 /// The turn is a single atomic flipped with release/acquire ordering and the
 /// waiting side parks its OS thread (`std::thread::park`), so a hand-off is
-/// one store + one targeted `unpark` instead of the previous
-/// Mutex+Condvar ping-pong (lock, broadcast, re-lock on wake). Each side
+/// one store + one targeted `unpark`. Any party may grant the turn — the
+/// scheduler or a directly-handing-off sibling thread. The owning side
 /// registers its `Thread` handle before first waiting; a granter that runs
 /// before the handle is registered skips the unpark, which is safe because
 /// the registrant re-checks the turn after registering and never parks on a
 /// turn it already holds. Stale unpark tokens (from a grant that raced a
 /// non-parked partner) only cause one spurious loop iteration.
 pub(crate) struct Conduit {
-    /// [`TURN_SCHEDULER`] or [`TURN_THREAD`]; release/acquire hand-off.
+    /// [`TURN_WAIT`] or [`TURN_RUN`]; release/acquire hand-off.
     turn: AtomicU8,
-    /// OS-thread handle of the scheduler side. Re-registered on every
-    /// `resume_and_wait` because the `Simulation` may move between OS
-    /// threads across runs; the lock is never contended (strict
-    /// alternation), so it costs one CAS.
-    sched: Mutex<Option<Thread>>,
+    /// Why the last grant happened ([`GRANT_RUN`] / [`GRANT_SHUTDOWN`]).
+    /// Written before the `turn` release-store, read after the acquire-load,
+    /// so it needs no ordering of its own.
+    kind: AtomicU8,
     /// OS-thread handle backing the simulated thread; set exactly once.
     thread: OnceLock<Thread>,
 }
@@ -113,58 +133,56 @@ pub(crate) struct Conduit {
 impl Conduit {
     pub(crate) fn new() -> Arc<Self> {
         Arc::new(Conduit {
-            turn: AtomicU8::new(TURN_SCHEDULER),
-            sched: Mutex::new(None),
+            turn: AtomicU8::new(TURN_WAIT),
+            kind: AtomicU8::new(GRANT_RUN),
             thread: OnceLock::new(),
         })
     }
 
     #[inline]
-    fn wait_until(&self, want: u8) {
+    fn wait_run(&self) {
         if spin_before_park() {
             for _ in 0..128 {
-                if self.turn.load(AtomicOrdering::Acquire) == want {
+                if self.turn.load(AtomicOrdering::Acquire) == TURN_RUN {
                     return;
                 }
                 std::hint::spin_loop();
             }
         }
-        while self.turn.load(AtomicOrdering::Acquire) != want {
+        while self.turn.load(AtomicOrdering::Acquire) != TURN_RUN {
             std::thread::park();
         }
     }
 
-    /// Scheduler side: give the thread the turn and wait until it yields back.
-    pub(crate) fn resume_and_wait(&self) {
-        *self.sched.lock() = Some(std::thread::current());
-        self.turn.store(TURN_THREAD, AtomicOrdering::Release);
+    /// Gives the owning thread the turn. Callable from the scheduler or from
+    /// another simulated thread performing a direct hand-off.
+    pub(crate) fn grant(&self, kind: u8) {
+        self.kind.store(kind, AtomicOrdering::Relaxed);
+        self.turn.store(TURN_RUN, AtomicOrdering::Release);
         if let Some(t) = self.thread.get() {
             t.unpark();
         }
-        self.wait_until(TURN_SCHEDULER);
     }
 
-    /// Thread side: wait until the scheduler gives us the turn (initial start).
+    /// Owner side: give up the turn *before* granting it elsewhere, so a
+    /// grant that comes straight back (a short hand-off chain) is not
+    /// clobbered by a later store.
+    #[inline]
+    fn relinquish(&self) {
+        self.turn.store(TURN_WAIT, AtomicOrdering::Release);
+    }
+
+    /// Owner side: wait until the scheduler gives us the first turn.
     pub(crate) fn wait_for_turn(&self) {
         let _ = self.thread.set(std::thread::current());
-        self.wait_until(TURN_THREAD);
+        self.wait_run();
     }
 
-    /// Thread side: yield the turn to the scheduler and wait to be resumed.
-    pub(crate) fn yield_to_scheduler(&self) {
-        self.turn.store(TURN_SCHEDULER, AtomicOrdering::Release);
-        if let Some(t) = self.sched.lock().as_ref() {
-            t.unpark();
-        }
-        self.wait_until(TURN_THREAD);
-    }
-
-    /// Thread side: final yield on exit; does not wait for another turn.
-    pub(crate) fn final_yield(&self) {
-        self.turn.store(TURN_SCHEDULER, AtomicOrdering::Release);
-        if let Some(t) = self.sched.lock().as_ref() {
-            t.unpark();
-        }
+    /// Owner side: park until granted again; returns the grant kind.
+    #[inline]
+    fn wait_granted(&self) -> u8 {
+        self.wait_run();
+        self.kind.load(AtomicOrdering::Relaxed)
     }
 }
 
@@ -185,6 +203,25 @@ pub(crate) struct ThreadRecord {
     pub os_handle: Option<std::thread::JoinHandle<()>>,
 }
 
+/// Dense per-thread wake-generation slot, the cancellation index consulted
+/// for every popped event.
+///
+/// `prepare_block` bumps `gen`, which *cancels* every wake still queued for
+/// an older generation of this thread: they will be recognized as dead by a
+/// single 16-byte load here — no `ThreadRecord` (several cache lines, cold
+/// fields) is touched for them. The dead events themselves must stay in the
+/// queue: each popped event advances the virtual clock and the event
+/// counter, both of which are pinned by golden traces and chaos hashes, so
+/// removing them eagerly would change observable time. Cancellation here
+/// means "guaranteed not to resume anything, and cheap to skip".
+#[derive(Clone, Copy)]
+pub(crate) struct WakeSlot {
+    /// Live wake generation (mirrors `ThreadRecord::wait_id`).
+    pub gen: u64,
+    /// True while the thread is blocked and generation `gen` may fire.
+    pub waiting: bool,
+}
+
 pub(crate) struct ProcRecord {
     pub name: String,
     /// Thread currently occupying the CPU at thread level.
@@ -193,7 +230,7 @@ pub(crate) struct ProcRecord {
     /// this, which is exactly why a kernel-space RPC reply resumes the
     /// blocked client without a context-switch charge.
     pub last_thread_holder: Option<ThreadId>,
-    pub waiters: VecDeque<(ThreadId, u64)>,
+    pub waiters: std::collections::VecDeque<(ThreadId, u64)>,
     /// Total interrupt-level CPU time stolen on this processor; thread-level
     /// `compute` calls extend themselves by the amount stolen during their
     /// occupancy.
@@ -206,53 +243,38 @@ pub(crate) struct ProcRecord {
     pub interrupt_time: SimDuration,
 }
 
-struct Event {
-    time: SimTime,
-    /// Perturbation tie-break: 0 unless schedule perturbation is enabled, in
-    /// which case it is a per-event draw from a dedicated seeded RNG. It is
-    /// ordered *after* `time` and *before* `seq`, so virtual time is never
-    /// violated — only the pick order among same-instant wakes is shuffled.
-    tie: u64,
-    seq: u64,
-    thread: ThreadId,
-    wait_id: u64,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        // Must agree with `Ord::cmp` below: compare the full
-        // (time, tie, seq) key, not just (time, seq).
-        (self.time, self.tie, self.seq) == (other.time, other.tie, other.seq)
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, tie, seq)
-        // pops first. With perturbation off every `tie` is 0 and the order
-        // degenerates to the historical (time, seq) FIFO.
-        (other.time, other.tie, other.seq).cmp(&(self.time, self.tie, self.seq))
-    }
-}
-
 pub(crate) struct TraceEntry {
     pub time: SimTime,
     pub thread: Arc<str>,
     pub message: String,
 }
 
+/// What [`CoreState::next_live`] found at the head of the queue.
+pub(crate) enum NextEvent {
+    /// A live wake; the thread has been marked `Running` and traced.
+    Live(ThreadId),
+    /// The queue is empty.
+    Drained,
+    /// `events_processed` reached `max_events` (checked before every pop,
+    /// including between dead-wake skips, exactly as the old per-iteration
+    /// check did).
+    LimitHit,
+}
+
 pub(crate) struct CoreState {
     pub now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Event>,
+    queue: EventQueue,
     pub threads: Vec<ThreadRecord>,
+    /// Wake-generation slots, indexed like `threads`; see [`WakeSlot`].
+    wake: Vec<WakeSlot>,
     pub procs: Vec<ProcRecord>,
     pub events_processed: u64,
+    /// Dead wakes consumed so far (cancelled generations); diagnostics only.
+    pub stale_wakes: u64,
+    /// Event budget; checked by both the scheduler and the thread-side
+    /// hand-off fast path, so it lives with the rest of the shared state.
+    pub max_events: Option<u64>,
     pub shutdown: bool,
     pub rng: SmallRng,
     /// When `Some`, draws one tie-break value per scheduled wake, shuffling
@@ -321,6 +343,10 @@ impl CoreState {
 
     /// Marks `thread` as blocked and returns the wait token a waker must use.
     ///
+    /// Bumping the token is also the *cancellation point*: any wake still
+    /// queued for an older generation of this thread is dead from here on
+    /// (see [`WakeSlot`]).
+    ///
     /// No state assertion: during shutdown a destructor may re-enter a
     /// blocking primitive while the record is already `Blocked`.
     pub(crate) fn prepare_block(&mut self, thread: ThreadId, label: &'static str) -> u64 {
@@ -329,12 +355,44 @@ impl CoreState {
         rec.state = ThreadState::Blocked;
         rec.blocked_on = label;
         let wid = rec.wait_id;
+        self.wake[thread.0] = WakeSlot {
+            gen: wid,
+            waiting: true,
+        };
         self.trace_event(thread, Layer::Sched, Phase::Instant, "block", &[]);
         wid
     }
 
-    fn pop_event(&mut self) -> Option<Event> {
-        self.queue.pop()
+    /// Pops events until one is live, the queue drains, or the event budget
+    /// runs out. Every popped event — dead or live — advances the clock and
+    /// `events_processed` exactly as the scheduler always has, so virtual
+    /// time and event counts are independent of *who* drives the queue (the
+    /// scheduler or a blocking thread's hand-off fast path).
+    pub(crate) fn next_live(&mut self) -> NextEvent {
+        loop {
+            if let Some(l) = self.max_events {
+                if self.events_processed >= l {
+                    return NextEvent::LimitHit;
+                }
+            }
+            let Some(ev) = self.queue.pop() else {
+                return NextEvent::Drained;
+            };
+            debug_assert!(ev.time >= self.now);
+            self.now = ev.time;
+            self.events_processed += 1;
+            let slot = &mut self.wake[ev.thread.0];
+            if slot.waiting && slot.gen == ev.wait_id {
+                slot.waiting = false;
+                self.threads[ev.thread.0].state = ThreadState::Running;
+                self.trace_event(ev.thread, Layer::Sched, Phase::Instant, "wake", &[]);
+                return NextEvent::Live(ev.thread);
+            }
+            // Cancelled generation — one dense-slot load recognized it; no
+            // thread record was touched. The clock tick above is deliberate
+            // (pinned by golden traces and chaos hashes).
+            self.stale_wakes += 1;
+        }
     }
 
     pub(crate) fn queue_len(&self) -> usize {
@@ -347,17 +405,29 @@ pub(crate) struct Core {
     /// Mirrors `CoreState::tracer.is_some()`; lives outside the mutex so
     /// disabled-tracing call sites pay one relaxed load and nothing else.
     pub trace_on: AtomicBool,
-    /// Set by a simulated thread's exit path when its body panicked, so
-    /// [`Core::step`]'s non-panic path is one relaxed load instead of a
-    /// second state-lock acquisition per event.
-    panicked: AtomicBool,
+    /// Index of a simulated thread whose body panicked (`usize::MAX` =
+    /// none). With direct hand-off chains the thread that yields back to the
+    /// scheduler is not necessarily the one the scheduler resumed, so the
+    /// flag must carry *who* panicked.
+    panicked_tid: AtomicUsize,
+    /// True when the scheduler holds the turn; flipped with release/acquire
+    /// ordering like the per-thread conduits. A yielding thread that cannot
+    /// continue the hand-off chain stores `true` and unparks `sched_thread`.
+    sched_turn: AtomicBool,
+    /// OS-thread handle of the scheduler side. Re-registered on every
+    /// `resume_and_wait` because the `Simulation` may move between OS
+    /// threads across runs; the lock is never contended (strict
+    /// alternation), so it costs one CAS.
+    sched_thread: Mutex<Option<Thread>>,
 }
+
+const NO_PANIC: usize = usize::MAX;
 
 /// How [`Core::step`] left the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum StepResult {
-    /// A thread was resumed and yielded back (stale wakes may have been
-    /// skipped on the way).
+    /// One or more threads were resumed (a hand-off chain may have run many
+    /// events) and the turn came back to the scheduler.
     Progress,
     /// The event queue is empty.
     Drained,
@@ -373,10 +443,13 @@ impl Core {
             state: Mutex::new(CoreState {
                 now: SimTime::ZERO,
                 seq: 0,
-                queue: BinaryHeap::with_capacity(256),
+                queue: EventQueue::with_capacity(256),
                 threads: Vec::new(),
+                wake: Vec::new(),
                 procs: Vec::new(),
                 events_processed: 0,
+                stale_wakes: 0,
+                max_events: None,
                 shutdown: false,
                 rng: SmallRng::seed_from_u64(seed),
                 perturb: None,
@@ -385,7 +458,9 @@ impl Core {
                 tracer: None,
             }),
             trace_on: AtomicBool::new(false),
-            panicked: AtomicBool::new(false),
+            panicked_tid: AtomicUsize::new(NO_PANIC),
+            sched_turn: AtomicBool::new(true),
+            sched_thread: Mutex::new(None),
         })
     }
 
@@ -402,7 +477,7 @@ impl Core {
             name: name.to_owned(),
             holder: None,
             last_thread_holder: None,
-            waiters: VecDeque::new(),
+            waiters: std::collections::VecDeque::new(),
             stolen_total: SimDuration::ZERO,
             switch_cost,
             busy: SimDuration::ZERO,
@@ -410,6 +485,34 @@ impl Core {
             interrupt_time: SimDuration::ZERO,
         });
         id
+    }
+
+    /// Thread side: the calling simulated thread hands the turn back to the
+    /// scheduler (chain break: drain, budget, or thread exit).
+    pub(crate) fn wake_scheduler(&self) {
+        self.sched_turn.store(true, AtomicOrdering::Release);
+        if let Some(t) = self.sched_thread.lock().as_ref() {
+            t.unpark();
+        }
+    }
+
+    /// Scheduler side: grant `conduit` the turn and park until some thread
+    /// hands the turn back (possibly after a long direct hand-off chain).
+    fn resume_and_wait(&self, conduit: &Conduit, kind: u8) {
+        *self.sched_thread.lock() = Some(std::thread::current());
+        self.sched_turn.store(false, AtomicOrdering::Release);
+        conduit.grant(kind);
+        if spin_before_park() {
+            for _ in 0..128 {
+                if self.sched_turn.load(AtomicOrdering::Acquire) {
+                    return;
+                }
+                std::hint::spin_loop();
+            }
+        }
+        while !self.sched_turn.load(AtomicOrdering::Acquire) {
+            std::thread::park();
+        }
     }
 
     /// Spawns a simulated thread; shared implementation behind
@@ -445,9 +548,14 @@ impl Core {
                 panic: None,
                 os_handle: None,
             });
+            st.wake.push(WakeSlot {
+                gen: 0,
+                waiting: true,
+            });
             if st.shutdown {
                 // The simulation is being torn down; never start the body.
                 st.threads[tid.0].state = ThreadState::Finished;
+                st.wake[tid.0].waiting = false;
                 return tid;
             }
             st.trace_event(tid, Layer::Sched, Phase::Instant, "spawn", &[]);
@@ -478,8 +586,9 @@ impl Core {
                 {
                     let mut st = core.state.lock();
                     if panic_msg.is_some() {
-                        core.panicked.store(true, AtomicOrdering::Release);
+                        core.panicked_tid.store(tid.0, AtomicOrdering::Release);
                     }
+                    st.wake[tid.0].waiting = false;
                     let joiners = {
                         let rec = &mut st.threads[tid.0];
                         rec.state = ThreadState::Finished;
@@ -490,7 +599,11 @@ impl Core {
                         st.schedule_wake_now(jt, jw);
                     }
                 }
-                thread_conduit.final_yield();
+                // Exit always returns the turn to the scheduler — never a
+                // direct hand-off — so `stop_on` and panic checks cannot be
+                // bypassed by a chain.
+                thread_conduit.relinquish();
+                core.wake_scheduler();
             })
             .expect("failed to spawn OS thread backing a simulated thread");
 
@@ -498,63 +611,46 @@ impl Core {
         tid
     }
 
-    /// Advances the simulation by one thread resumption: pops events —
-    /// skipping stale wakes without releasing the state lock — until one
-    /// resumes a thread, the queue drains, `stop_on` finishes, or the event
-    /// budget runs out. Each popped event (stale or not) advances the clock
-    /// and the `events_processed` counter exactly as it always has, so
-    /// virtual time and event counts are independent of this batching.
+    /// Advances the simulation by (at least) one thread resumption: pops
+    /// events — skipping cancelled wakes without releasing the state lock —
+    /// until one resumes a thread, the queue drains, `stop_on` finishes, or
+    /// the event budget runs out. The resumed thread may keep the event loop
+    /// going through direct hand-offs (see the module docs); the scheduler
+    /// parks until the chain breaks.
     ///
     /// # Panics
     ///
     /// Propagates panics from simulated threads.
-    pub(crate) fn step(
-        self: &Arc<Self>,
-        stop_on: Option<ThreadId>,
-        limit: Option<u64>,
-    ) -> StepResult {
-        let (tid, conduit) = {
+    pub(crate) fn step(self: &Arc<Self>, stop_on: Option<ThreadId>) -> StepResult {
+        let conduit = {
             let mut st = self.state.lock();
-            loop {
-                if let Some(t) = stop_on {
-                    if st.threads[t.0].state == ThreadState::Finished {
-                        return StepResult::TargetFinished;
-                    }
+            if let Some(t) = stop_on {
+                if st.threads[t.0].state == ThreadState::Finished {
+                    return StepResult::TargetFinished;
                 }
-                if let Some(l) = limit {
-                    if st.events_processed >= l {
-                        return StepResult::LimitExceeded;
-                    }
+            }
+            match st.next_live() {
+                NextEvent::Drained => return StepResult::Drained,
+                NextEvent::LimitHit => return StepResult::LimitExceeded,
+                // Raw pointer instead of `Arc::clone`: the conduit must
+                // outlive the unlock below, which it does because thread
+                // records (and the `Arc`s they hold) are never removed
+                // while the `Core` behind `self` is alive, and the
+                // `Arc`'s pointee is heap-stable across `threads` Vec
+                // reallocations. This saves two refcount RMWs per event.
+                NextEvent::Live(tid) => {
+                    let p: *const Conduit = Arc::as_ptr(&st.threads[tid.0].conduit);
+                    p
                 }
-                let Some(ev) = st.pop_event() else {
-                    return StepResult::Drained;
-                };
-                debug_assert!(ev.time >= st.now);
-                st.now = ev.time;
-                st.events_processed += 1;
-                let rec = &mut st.threads[ev.thread.0];
-                if rec.state == ThreadState::Blocked && rec.wait_id == ev.wait_id {
-                    rec.state = ThreadState::Running;
-                    // Raw pointer instead of `Arc::clone`: the conduit must
-                    // outlive the unlock below, which it does because thread
-                    // records (and the `Arc`s they hold) are never removed
-                    // while the `Core` behind `self` is alive, and the
-                    // `Arc`'s pointee is heap-stable across `threads` Vec
-                    // reallocations. This saves two refcount RMWs per event.
-                    let conduit: *const Conduit = Arc::as_ptr(&rec.conduit);
-                    st.trace_event(ev.thread, Layer::Sched, Phase::Instant, "wake", &[]);
-                    break (ev.thread, conduit);
-                }
-                // Stale wake — the thread moved on or already finished; keep
-                // the lock and pop the next event.
             }
         };
         // SAFETY: see the comment at `Arc::as_ptr` above.
-        unsafe { (*conduit).resume_and_wait() };
-        if self.panicked.load(AtomicOrdering::Acquire) {
+        self.resume_and_wait(unsafe { &*conduit }, GRANT_RUN);
+        if self.panicked_tid.load(AtomicOrdering::Acquire) != NO_PANIC {
+            let panicker = self.panicked_tid.swap(NO_PANIC, AtomicOrdering::AcqRel);
             let panic_info = {
                 let mut st = self.state.lock();
-                let rec = &mut st.threads[tid.0];
+                let rec = &mut st.threads[panicker];
                 rec.panic.take().map(|msg| (Arc::clone(&rec.name), msg))
             };
             if let Some((name, msg)) = panic_info {
@@ -582,7 +678,7 @@ impl Core {
                 break;
             }
             for c in pending {
-                c.resume_and_wait();
+                self.resume_and_wait(&c, GRANT_SHUTDOWN);
             }
         }
         let handles: Vec<_> = {
@@ -594,6 +690,56 @@ impl Core {
         };
         for h in handles {
             let _ = h.join();
+        }
+    }
+}
+
+/// Thread-side blocking yield: the other half of the hand-off fast path.
+///
+/// Lives here (not in `ctx.rs`) so all turn-protocol code sits next to
+/// [`Conduit`] and [`Core::resume_and_wait`]. Called by `Ctx::yield_blocked`
+/// after `prepare_block` + wake registration.
+pub(crate) fn yield_blocked(core: &Core, tid: ThreadId, conduit: &Conduit) -> WakeStatus {
+    enum Next {
+        /// Break the chain; the scheduler decides (drain, budget, shutdown).
+        Sched,
+        /// Our own wake was the queue head: keep running, zero switches.
+        SelfWake,
+        /// Hand the turn straight to the woken thread: one switch.
+        Grant(*const Conduit),
+    }
+    let next = {
+        let mut st = core.state.lock();
+        if st.shutdown {
+            // Tear-down in progress: never yield again (the scheduler is
+            // gone); let the caller unwind or return a benign value.
+            return WakeStatus::Shutdown;
+        }
+        match st.next_live() {
+            NextEvent::Drained | NextEvent::LimitHit => Next::Sched,
+            NextEvent::Live(t) if t == tid => Next::SelfWake,
+            NextEvent::Live(t) => Next::Grant(Arc::as_ptr(&st.threads[t.0].conduit)),
+        }
+    };
+    match next {
+        Next::SelfWake => WakeStatus::Woken,
+        Next::Grant(target) => {
+            conduit.relinquish();
+            // SAFETY: thread records (and their conduit Arcs) are never
+            // removed while the core is alive; see `Core::step`.
+            unsafe { (*target).grant(GRANT_RUN) };
+            match conduit.wait_granted() {
+                GRANT_SHUTDOWN => WakeStatus::Shutdown,
+                _ => WakeStatus::Woken,
+            }
+        }
+        Next::Sched => {
+            conduit.relinquish();
+            core.wake_scheduler();
+            match conduit.wait_granted() {
+                GRANT_SHUTDOWN => WakeStatus::Shutdown,
+                _ => WakeStatus::Woken,
+            }
         }
     }
 }

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use rand::RngExt;
 
 use crate::core::{
-    shutdown_unwind_unless_panicking, Core, ProcId, ThreadId, TraceEntry, WakeStatus,
+    shutdown_unwind_unless_panicking, Conduit, Core, ProcId, ThreadId, TraceEntry, WakeStatus,
 };
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Layer, Phase};
@@ -42,6 +42,9 @@ pub enum SwitchCharge {
 pub struct Ctx {
     core: Arc<Core>,
     tid: ThreadId,
+    /// This thread's hand-off cell, cached once at construction so blocking
+    /// never re-fetches it from the thread table under the state lock.
+    conduit: Arc<Conduit>,
 }
 
 impl std::fmt::Debug for Ctx {
@@ -52,7 +55,8 @@ impl std::fmt::Debug for Ctx {
 
 impl Ctx {
     pub(crate) fn new(core: Arc<Core>, tid: ThreadId) -> Self {
-        Ctx { core, tid }
+        let conduit = Arc::clone(&core.state.lock().threads[tid.0].conduit);
+        Ctx { core, tid, conduit }
     }
 
     pub(crate) fn core(&self) -> &Arc<Core> {
@@ -83,22 +87,13 @@ impl Ctx {
     ///
     /// Callers must have registered a wait via `prepare_block` while holding
     /// the core lock. Unwinds the thread if the simulation is shutting down.
+    ///
+    /// This is the entry to the hand-off fast path (see `core`'s module
+    /// docs): if this thread's own wake heads the queue it returns without
+    /// any OS-level switch, and if another thread's wake does it grants that
+    /// thread directly instead of detouring through the scheduler.
     pub(crate) fn yield_blocked(&self) -> WakeStatus {
-        let conduit = {
-            let st = self.core.state.lock();
-            if st.shutdown {
-                // Tear-down in progress: never yield again (the scheduler is
-                // gone); let the caller unwind or return a benign value.
-                return WakeStatus::Shutdown;
-            }
-            Arc::clone(&st.threads[self.tid.0].conduit)
-        };
-        conduit.yield_to_scheduler();
-        if self.core.state.lock().shutdown {
-            WakeStatus::Shutdown
-        } else {
-            WakeStatus::Woken
-        }
+        crate::core::yield_blocked(&self.core, self.tid, &self.conduit)
     }
 
     /// Suspends the thread for `d` of virtual time without occupying a CPU.
@@ -286,6 +281,24 @@ impl Ctx {
     {
         let tid = self.core.spawn_thread(proc, name, true, f);
         ThreadHandle::new(Arc::clone(&self.core), tid)
+    }
+
+    /// Commits wakes captured by [`crate::SimChannel::send_deferred`], in
+    /// order, at the current instant, under a single scheduler-lock
+    /// acquisition.
+    ///
+    /// Equivalent to having called [`crate::SimChannel::send`] for each
+    /// message as long as nothing ran in between the deferred sends — which
+    /// is guaranteed inside one simulated thread, since only one thread runs
+    /// at a time. This is the fan-out batching primitive: a broadcast
+    /// delivery enqueues the frame on every receiver first, then schedules
+    /// every wake with one lock round-trip instead of one per receiver.
+    pub fn commit_wakes(&self, wakes: impl IntoIterator<Item = crate::PendingWake>) {
+        let mut st = self.core.state.lock();
+        for w in wakes {
+            let (thread, wait_id) = w.into_parts();
+            st.schedule_wake_now(thread, wait_id);
+        }
     }
 
     /// Returns a uniformly distributed `u64` from the simulation's

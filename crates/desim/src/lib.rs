@@ -47,12 +47,13 @@ mod channel;
 mod core;
 mod ctx;
 pub mod par;
+mod queue;
 mod sim;
 mod sync;
 mod time;
 pub mod trace;
 
-pub use channel::{RecvTimeoutError, SendError, SimChannel};
+pub use channel::{PendingWake, RecvTimeoutError, SendError, SimChannel};
 pub use core::{ProcId, ThreadId};
 pub use ctx::{Ctx, SwitchCharge};
 pub use sim::{ProcReport, SimError, SimReport, Simulation, ThreadHandle};

@@ -144,7 +144,6 @@ impl ThreadHandle {
 /// ```
 pub struct Simulation {
     core: Arc<Core>,
-    max_events: Option<u64>,
     default_switch_cost: SimDuration,
 }
 
@@ -165,7 +164,6 @@ impl Simulation {
         install_quiet_shutdown_hook();
         Simulation {
             core: Core::new(seed),
-            max_events: None,
             default_switch_cost: SimDuration::ZERO,
         }
     }
@@ -178,8 +176,12 @@ impl Simulation {
     /// Caps the total number of wake events; [`Simulation::run`] returns
     /// [`SimError::EventLimitExceeded`] past the cap. A safety net against
     /// runaway protocols (e.g. retransmission storms).
+    ///
+    /// The budget lives in the shared scheduler state because both the
+    /// scheduler and the thread-side hand-off fast path check it before
+    /// every pop.
     pub fn set_max_events(&mut self, limit: u64) {
-        self.max_events = Some(limit);
+        self.core.state.lock().max_events = Some(limit);
     }
 
     /// Enables seeded scheduler perturbation: among wake events scheduled
@@ -261,14 +263,21 @@ impl Simulation {
 
     fn run_inner(&mut self, stop_on: Option<ThreadId>) -> Result<SimReport, SimError> {
         // The stop/limit checks live inside `Core::step` so the whole event
-        // loop — including skipping stale wakes — runs under a single state
-        // lock acquisition per resumption.
+        // loop — including skipping cancelled wakes — runs under a single
+        // state lock acquisition per resumption. Most events never even
+        // reach this loop: blocking threads hand the turn directly to each
+        // other and the scheduler only sees chain breaks.
         loop {
-            match self.core.step(stop_on, self.max_events) {
+            match self.core.step(stop_on) {
                 StepResult::Progress => {}
                 StepResult::TargetFinished => return Ok(self.report()),
                 StepResult::LimitExceeded => {
-                    let limit = self.max_events.expect("limit was configured");
+                    let limit = self
+                        .core
+                        .state
+                        .lock()
+                        .max_events
+                        .expect("limit was configured");
                     return Err(SimError::EventLimitExceeded { limit });
                 }
                 StepResult::Drained => break,
@@ -422,6 +431,13 @@ impl Simulation {
     /// Number of events still queued (diagnostics).
     pub fn pending_events(&self) -> usize {
         self.core.state.lock().queue_len()
+    }
+
+    /// Number of cancelled (dead-generation) wakes consumed so far
+    /// (diagnostics). Each still advanced the clock when popped — virtual
+    /// time is independent of how cheaply they are recognized.
+    pub fn stale_wakes(&self) -> u64 {
+        self.core.state.lock().stale_wakes
     }
 }
 

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use desim::trace::{Layer, Phase};
-use desim::{Ctx, SimChannel, SimDuration, Simulation};
+use desim::{Ctx, PendingWake, SimChannel, SimDuration, Simulation};
 use parking_lot::Mutex;
 
 use crate::frame::{Dest, Frame, MacAddr, McastAddr};
@@ -535,6 +535,14 @@ impl Network {
                     .collect()
             };
             let f = self.faults.lock().clone();
+            // One fan-out: enqueue the frame on every reachable attachment
+            // first, then commit all receiver wakes in one batch below.
+            // Capture order == the old per-target send order, and only this
+            // daemon runs in between, so seq assignment, perturbation tie
+            // draws, and per-receiver pick order are bit-identical to
+            // unbatched delivery. Fault draws stay per delivery, in the
+            // same RNG order (reachability, rx-loss, reorder, dup).
+            let mut wakes: Vec<PendingWake> = Vec::new();
             for (mac, target) in targets {
                 // Reachability first — purely deterministic, no RNG draws.
                 if let Some(m) = mac {
@@ -573,12 +581,19 @@ impl Network {
                     continue;
                 }
                 ctx.trace_instant(Layer::Net, "rx", &[("src", u64::from(frame.src.0))]);
-                let _ = target.send(ctx, frame.clone());
+                if let Ok(Some(w)) = target.send_deferred(frame.clone()) {
+                    wakes.push(w);
+                }
                 if f.dup_prob > 0.0 && ctx.rand_bool(f.dup_prob) {
                     self.inner.lock().segments[id.0].stats.dup_deliveries += 1;
                     ctx.trace_instant(Layer::Net, "rx_dup", &[("src", u64::from(frame.src.0))]);
-                    let _ = target.send(ctx, frame.clone());
+                    if let Ok(Some(w)) = target.send_deferred(frame.clone()) {
+                        wakes.push(w);
+                    }
                 }
+            }
+            if !wakes.is_empty() {
+                ctx.commit_wakes(wakes);
             }
             self.release_held(ctx, id);
         }
@@ -614,6 +629,7 @@ impl Network {
             });
             due
         };
+        let mut wakes: Vec<PendingWake> = Vec::new();
         for h in due {
             let unreachable = match h.dst_mac {
                 Some(m) => {
@@ -636,7 +652,12 @@ impl Network {
                 "rx_release",
                 &[("src", u64::from(h.frame.src.0))],
             );
-            let _ = h.rx.send(ctx, h.frame);
+            if let Ok(Some(w)) = h.rx.send_deferred(h.frame) {
+                wakes.push(w);
+            }
+        }
+        if !wakes.is_empty() {
+            ctx.commit_wakes(wakes);
         }
     }
 
@@ -678,8 +699,16 @@ impl Network {
                             .map(|s| inner.segments[s.0].tx.clone())
                             .collect()
                     };
+                    // Flood is a fan-out too: enqueue on every other
+                    // segment, then wake their daemons in one batch.
+                    let mut wakes: Vec<PendingWake> = Vec::new();
                     for tx in txs {
-                        let _ = tx.send(ctx, frame.clone());
+                        if let Ok(Some(w)) = tx.send_deferred(frame.clone()) {
+                            wakes.push(w);
+                        }
+                    }
+                    if !wakes.is_empty() {
+                        ctx.commit_wakes(wakes);
                     }
                 }
             }

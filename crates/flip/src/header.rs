@@ -4,7 +4,7 @@
 //! (the size the paper charges against the user-space protocols' budget when
 //! comparing header overheads).
 
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::Bytes;
 
 use crate::addr::FlipAddr;
 
@@ -93,19 +93,27 @@ impl std::error::Error for DecodeError {}
 
 impl PacketHeader {
     /// Encodes the header followed by `data` into one Ethernet payload.
+    ///
+    /// The header is assembled in a stack scratch buffer — no heap traffic
+    /// and no per-field length bookkeeping — and the packet is then built
+    /// with a single exact-size allocation receiving two block copies.
+    /// (A thread-local heap scratch would buy nothing more: the output must
+    /// escape into an immutable [`Bytes`] allocation anyway, so the scratch
+    /// on the stack is the zero-cost variant.)
     pub fn encode_with(&self, data: &[u8]) -> Bytes {
-        let mut buf = BytesMut::with_capacity(FLIP_HEADER_BYTES + data.len());
-        buf.put_u64(self.dst.0);
-        buf.put_u64(self.src.0);
-        buf.put_u64(self.msg_id);
-        buf.put_u32(self.offset);
-        buf.put_u32(self.total_len);
-        buf.put_u8(self.ptype.to_byte());
-        buf.put_u8(u8::from(self.multicast));
-        buf.put_slice(&[0u8; 6]); // pad to FLIP_HEADER_BYTES
-        debug_assert_eq!(buf.len(), FLIP_HEADER_BYTES);
-        buf.put_slice(data);
-        buf.freeze()
+        let mut hdr = [0u8; FLIP_HEADER_BYTES];
+        hdr[0..8].copy_from_slice(&self.dst.0.to_be_bytes());
+        hdr[8..16].copy_from_slice(&self.src.0.to_be_bytes());
+        hdr[16..24].copy_from_slice(&self.msg_id.to_be_bytes());
+        hdr[24..28].copy_from_slice(&self.offset.to_be_bytes());
+        hdr[28..32].copy_from_slice(&self.total_len.to_be_bytes());
+        hdr[32] = self.ptype.to_byte();
+        hdr[33] = u8::from(self.multicast);
+        // hdr[34..40] stays zero: pad to FLIP_HEADER_BYTES.
+        let mut packet = Vec::with_capacity(FLIP_HEADER_BYTES + data.len());
+        packet.extend_from_slice(&hdr);
+        packet.extend_from_slice(data);
+        Bytes::from(packet)
     }
 
     /// Decodes a header and returns it with the remaining fragment data.

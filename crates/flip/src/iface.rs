@@ -79,6 +79,9 @@ struct PendingSend {
     queued_at: SimTime,
 }
 
+/// Cap on pooled reassembly buffers kept per interface.
+const REASSEMBLY_POOL_MAX: usize = 4;
+
 struct IfaceState {
     local: HashSet<FlipAddr>,
     groups: HashMap<FlipAddr, McastAddr>,
@@ -86,6 +89,9 @@ struct IfaceState {
     pending: HashMap<FlipAddr, VecDeque<PendingSend>>,
     last_locate: HashMap<FlipAddr, SimTime>,
     reassembly: HashMap<(FlipAddr, u64), Partial>,
+    /// Buffers recycled from timed-out partial messages; completed messages
+    /// escape as immutable payloads and cannot be pooled.
+    reassembly_pool: Vec<BytesMut>,
     next_msg_id: u64,
     stats: FlipStats,
 }
@@ -123,6 +129,7 @@ impl FlipIface {
                 pending: HashMap::new(),
                 last_locate: HashMap::new(),
                 reassembly: HashMap::new(),
+                reassembly_pool: Vec::new(),
                 next_msg_id: 1,
                 stats: FlipStats::default(),
             })),
@@ -373,7 +380,11 @@ impl FlipIface {
         let now = ctx.now();
         let mut st = self.state.lock();
         st.stats.packets_received += 1;
-        // Lazy reassembly garbage collection.
+        // Lazy reassembly garbage collection. Runs for every data packet —
+        // fast-path or not — so the set of partials that survive to a given
+        // instant is independent of the delivery path taken. Expired
+        // buffers feed the pool; their capacity is reused by later partials.
+        let st = &mut *st;
         let expired: Vec<(FlipAddr, u64)> = st
             .reassembly
             .iter()
@@ -381,7 +392,13 @@ impl FlipIface {
             .map(|(k, _)| *k)
             .collect();
         for k in expired {
-            st.reassembly.remove(&k);
+            if let Some(dead) = st.reassembly.remove(&k) {
+                if st.reassembly_pool.len() < REASSEMBLY_POOL_MAX {
+                    let mut buf = dead.buf;
+                    buf.clear();
+                    st.reassembly_pool.push(buf);
+                }
+            }
             st.stats.reassembly_drops += 1;
         }
 
@@ -390,13 +407,38 @@ impl FlipIface {
             return Vec::new(); // malformed
         }
         let key = (header.src, header.msg_id);
-        let entry = st.reassembly.entry(key).or_insert_with(|| Partial {
-            total_len: total,
-            received: 0,
-            have: HashSet::new(),
-            buf: BytesMut::zeroed(total),
-            started: now,
-            multicast: header.multicast,
+        if header.offset == 0 && data.len() == total && !st.reassembly.contains_key(&key) {
+            // Single-fragment fast path: the frame payload slice *is* the
+            // message — hand it through unchanged instead of round-tripping
+            // it through a zeroed reassembly buffer (alloc + memset + copy).
+            // Behavior matches the general path exactly: same stats, same
+            // trace event, and duplicates re-deliver just as a re-created
+            // one-fragment partial would have.
+            st.stats.msgs_delivered += 1;
+            ctx.trace_instant(
+                Layer::Flip,
+                "reassembled",
+                &[("bytes", total as u64), ("msg_id", key.1)],
+            );
+            return vec![FlipMessage {
+                src: header.src,
+                dst: header.dst,
+                payload: data,
+                multicast: header.multicast,
+            }];
+        }
+        let pool = &mut st.reassembly_pool;
+        let entry = st.reassembly.entry(key).or_insert_with(|| {
+            let mut buf = pool.pop().unwrap_or_default();
+            buf.reserve(total);
+            Partial {
+                total_len: total,
+                received: 0,
+                have: HashSet::new(),
+                buf,
+                started: now,
+                multicast: header.multicast,
+            }
         });
         if entry.total_len != total {
             return Vec::new(); // inconsistent fragments: drop silently
@@ -407,13 +449,25 @@ impl FlipIface {
             return Vec::new();
         }
         if entry.have.insert(header.offset) {
-            entry.buf[off..end].copy_from_slice(&data);
+            // Tracked fill: the buffer grows with the fragments instead of
+            // starting as `total` zeroed bytes. In-order arrival appends;
+            // out-of-order arrival zero-fills the gap once and the missing
+            // fragment overwrites it later. Any completed message has every
+            // offset present, so the delivered bytes are identical to the
+            // zeroed-buffer scheme.
+            if off == entry.buf.len() {
+                entry.buf.extend_from_slice(&data);
+            } else {
+                if end > entry.buf.len() {
+                    entry.buf.resize(end, 0);
+                }
+                entry.buf[off..end].copy_from_slice(&data);
+            }
             entry.received += data.len();
         }
         if entry.received >= entry.total_len {
             let done = st.reassembly.remove(&key).expect("entry present");
             st.stats.msgs_delivered += 1;
-            drop(st);
             ctx.trace_instant(
                 Layer::Flip,
                 "reassembled",
@@ -506,7 +560,6 @@ impl FlipIface {
         let mut offset = 0usize;
         loop {
             let end = (offset + FLIP_FRAGMENT_BYTES).min(payload.len());
-            let chunk = payload.slice(offset..end);
             let header = PacketHeader {
                 dst,
                 src,
@@ -519,9 +572,13 @@ impl FlipIface {
             ctx.trace_instant(
                 Layer::Flip,
                 "fragment",
-                &[("bytes", chunk.len() as u64), ("offset", offset as u64)],
+                &[("bytes", (end - offset) as u64), ("offset", offset as u64)],
             );
-            self.nic.send(ctx, eth_dst, header.encode_with(&chunk));
+            // Borrow the fragment straight out of the payload; encode_with
+            // copies it into the wire packet, so a refcounted Bytes slice
+            // per fragment would only add allocator traffic.
+            self.nic
+                .send(ctx, eth_dst, header.encode_with(&payload[offset..end]));
             self.state.lock().stats.packets_sent += 1;
             offset = end;
             if offset >= payload.len() {

@@ -14,7 +14,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use bytes::Bytes;
+use bytes::{BufMut, Bytes, BytesMut};
 use desim::{Ctx, SimChannel, Simulation};
 use parking_lot::Mutex;
 
@@ -176,10 +176,10 @@ impl KernelSpacePanda {
 /// Requests carry the caller's node id in a 4-byte prefix (Panda-level
 /// information the Amoeba port field does not provide).
 fn encode_from(from: NodeId, body: &Bytes) -> Bytes {
-    let mut v = Vec::with_capacity(4 + body.len());
-    v.extend_from_slice(&from.to_be_bytes());
-    v.extend_from_slice(body);
-    Bytes::from(v)
+    let mut buf = BytesMut::with_capacity(4 + body.len());
+    buf.put_u32(from);
+    buf.put_slice(body);
+    buf.freeze()
 }
 
 fn decode_from(wire: &Bytes) -> (NodeId, Bytes) {

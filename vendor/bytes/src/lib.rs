@@ -290,6 +290,21 @@ impl BytesMut {
         self.buf.resize(new_len, value);
     }
 
+    /// Clears the buffer, keeping the allocated capacity.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Number of bytes the buffer can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
     /// Converts into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.buf)
