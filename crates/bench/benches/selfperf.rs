@@ -1,34 +1,18 @@
 //! Self-benchmark of the simulator: wall-clock ns/event on the scheduler
-//! hot paths, plus serial-vs-parallel chaos-sweep throughput with a
-//! bit-identical-results check. Writes `BENCH_selfperf.json` at the
-//! repository root (override with `SELFPERF_OUT=<path>`).
+//! hot paths measured per execution backend (fibers and os-threads), plus
+//! serial-vs-parallel chaos-sweep throughput with a bit-identical-results
+//! check. Writes `BENCH_selfperf.json` at the repository root (override
+//! with `SELFPERF_OUT=<path>`).
 //!
 //! Run with `cargo bench -p bench --bench selfperf`. Pass `-- --quick` (or
 //! set `SELFPERF_QUICK=1`) for the reduced CI workload. With
-//! `SELFPERF_GATE=1` the run fails on a gross hot-path regression (>3× the
-//! recorded baseline) or on a serial/parallel determinism mismatch.
+//! `SELFPERF_GATE=1` the run fails on any hot-path regression of more than
+//! 10% over its backend's recorded baseline, or on a serial/parallel
+//! determinism mismatch.
 
 use std::process::ExitCode;
 
-use bench::selfperf::{
-    self, BASELINE_FANOUT_NS_PER_EVENT, BASELINE_PINGPONG_NS_PER_EVENT,
-    BASELINE_QUEUE_NS_PER_EVENT, BASELINE_SLEEPSTORM_NS_PER_EVENT,
-};
-
-/// The four hot paths with their recorded baselines, shared by the print
-/// and gate loops.
-fn hot_paths(report: &selfperf::SelfPerfReport) -> [(&'static str, &selfperf::HotPath, f64); 4] {
-    [
-        ("pingpong", &report.pingpong, BASELINE_PINGPONG_NS_PER_EVENT),
-        (
-            "sleepstorm",
-            &report.sleepstorm,
-            BASELINE_SLEEPSTORM_NS_PER_EVENT,
-        ),
-        ("fanout", &report.fanout, BASELINE_FANOUT_NS_PER_EVENT),
-        ("queue", &report.queue, BASELINE_QUEUE_NS_PER_EVENT),
-    ]
-}
+use bench::selfperf::{self, GATE_REGRESSION_FACTOR};
 
 fn out_path() -> std::path::PathBuf {
     if let Ok(p) = std::env::var("SELFPERF_OUT") {
@@ -46,20 +30,23 @@ fn main() -> ExitCode {
 
     let report = selfperf::run(quick);
     println!(
-        "selfperf ({}; {} host cores)\n",
+        "selfperf ({}; {} host cores)",
         if quick { "quick" } else { "full" },
         report.host_cores
     );
-    for (name, hot, baseline) in hot_paths(&report) {
-        println!(
-            "  {name:<10} {:>9} events  {:>8.0} ns/event  {:>10.0} events/s  \
-             (baseline {:.0} ns/event, {:.1}x faster)",
-            hot.events,
-            hot.ns_per_event(),
-            hot.events_per_sec(),
-            baseline,
-            baseline / hot.ns_per_event()
-        );
+    for per_backend in &report.hot_paths {
+        println!("\n  backend: {}", per_backend.backend);
+        for (name, hot, baseline) in per_backend.named() {
+            println!(
+                "    {name:<10} {:>9} events  {:>8.0} ns/event  {:>10.0} events/s  \
+                 (baseline {:.0} ns/event, {:.2}x)",
+                hot.events,
+                hot.ns_per_event(),
+                hot.events_per_sec(),
+                baseline,
+                baseline / hot.ns_per_event()
+            );
+        }
     }
     println!(
         "\n  sweep serial    {:>4} runs in {:>7.2}s  ({:.1} runs/s, jobs=1)",
@@ -95,14 +82,18 @@ fn main() -> ExitCode {
             eprintln!("selfperf GATE: serial and parallel sweeps diverged");
             failed = true;
         }
-        for (name, hot, baseline) in hot_paths(&report) {
-            if hot.ns_per_event() > baseline * 3.0 {
-                eprintln!(
-                    "selfperf GATE: {name} at {:.0} ns/event, over 3x the \
-                     {baseline:.0} ns/event baseline",
-                    hot.ns_per_event()
-                );
-                failed = true;
+        for per_backend in &report.hot_paths {
+            for (name, hot, baseline) in per_backend.named() {
+                if hot.ns_per_event() > baseline * GATE_REGRESSION_FACTOR {
+                    eprintln!(
+                        "selfperf GATE: [{}] {name} at {:.0} ns/event, more than \
+                         {:.0}% over the {baseline:.0} ns/event baseline",
+                        per_backend.backend,
+                        hot.ns_per_event(),
+                        (GATE_REGRESSION_FACTOR - 1.0) * 100.0
+                    );
+                    failed = true;
+                }
             }
         }
         if failed {

@@ -3,9 +3,16 @@
 //!
 //! Exactly one party runs at a time: either the scheduler (inside
 //! `Simulation::run*`) or a single simulated thread. Control is handed back
-//! and forth through a per-thread [`Conduit`]. Because of this strict
-//! alternation the global [`CoreState`] mutex is never contended; it exists
-//! to satisfy the borrow checker and `Send` bounds, not for parallelism.
+//! and forth through the **execution backend seam**: each simulated thread
+//! owns a [`ThreadExec`] — a parked OS thread with a [`Conduit`] hand-off
+//! cell ([`crate::Backend::OsThreads`]), or a stackful user-space fiber
+//! switched with one register save/restore ([`crate::Backend::Fibers`]).
+//! Everything above the seam — event queue, virtual clock, wake
+//! generations, pick order, RNG draws — is backend-independent, which is
+//! what makes the two backends bit-identical in observable behaviour.
+//! Because of the strict alternation the global [`CoreState`] mutex is
+//! never contended; it exists to satisfy the borrow checker and `Send`
+//! bounds, not for parallelism.
 //!
 //! # Hot-path hand-off
 //!
@@ -13,15 +20,16 @@
 //! blocks pops the next live event itself under the same lock acquisition
 //! that would otherwise just publish its block: if the event wakes *itself*
 //! (a timer that is already due — the common case for `sleep`) it simply
-//! keeps running with **zero** OS-level switches; if it wakes another thread
-//! it grants that thread's conduit directly — **one** switch instead of the
-//! two (thread→scheduler, scheduler→thread) of a round trip through the
-//! scheduler. The scheduler only regains the turn when the chain breaks: the
-//! queue drains, the event budget runs out, or a thread finishes. Everything
-//! the scheduler observed per event before — clock advance, event counts,
-//! stale-wake skips, trace emission — happens identically inside
-//! [`CoreState::next_live`], which both parties share, so virtual time and
-//! traces are bit-identical to the scheduler-centric design.
+//! keeps running with **zero** switches of any kind; if it wakes another
+//! thread it grants that thread directly — one park/unpark (OS backend) or
+//! one user-space context switch (fiber backend) instead of the two of a
+//! round trip through the scheduler. The scheduler only regains the turn
+//! when the chain breaks: the queue drains, the event budget runs out, or a
+//! thread finishes. Everything the scheduler observed per event before —
+//! clock advance, event counts, stale-wake skips, trace emission — happens
+//! identically inside [`CoreState::next_live`], which both parties and both
+//! backends share, so virtual time and traces are bit-identical to the
+//! scheduler-centric design.
 
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
@@ -33,6 +41,8 @@ use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
+use crate::backend::Backend;
+use crate::fiber;
 use crate::queue::{Event, EventQueue};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{ArgVec, Layer, Phase, TraceEvent, Tracer};
@@ -74,6 +84,12 @@ pub(crate) struct ShutdownUnwind;
 /// down. If the thread is already unwinding (a destructor re-entered a
 /// blocking primitive), returns so the caller can produce a benign fallback
 /// value instead of triggering a double panic.
+///
+/// On the fiber backend `std::thread::panicking()` is per *host* OS thread,
+/// which is exact whenever the in-flight panic belongs to this fiber — the
+/// scheduler shuts the simulation down before re-raising a simulated
+/// thread's panic precisely so its own unwind never overlaps fiber teardown
+/// (see [`Core::step`]).
 pub(crate) fn shutdown_unwind_unless_panicking() {
     if !std::thread::panicking() {
         panic::panic_any(ShutdownUnwind);
@@ -93,9 +109,10 @@ pub(crate) enum ThreadState {
 const TURN_WAIT: u8 = 0;
 const TURN_RUN: u8 = 1;
 
-/// Grant kinds carried through a [`Conduit`]: why the thread was resumed.
-/// Replaces the post-wake `shutdown` re-check under the state lock — the
-/// granter already knows, so the woken side pays zero lock acquisitions.
+/// Grant kinds carried through a [`Conduit`] or a fiber's grant cell: why
+/// the thread was resumed. Replaces the post-wake `shutdown` re-check under
+/// the state lock — the granter already knows, so the woken side pays zero
+/// lock acquisitions.
 pub(crate) const GRANT_RUN: u8 = 0;
 pub(crate) const GRANT_SHUTDOWN: u8 = 1;
 
@@ -108,7 +125,7 @@ fn spin_before_park() -> bool {
     *MULTICORE.get_or_init(|| std::thread::available_parallelism().is_ok_and(|n| n.get() > 1))
 }
 
-/// Hand-off cell owned by one simulated thread.
+/// Hand-off cell owned by one simulated thread (OS-thread backend).
 ///
 /// The turn is a single atomic flipped with release/acquire ordering and the
 /// waiting side parks its OS thread (`std::thread::park`), so a hand-off is
@@ -186,12 +203,65 @@ impl Conduit {
     }
 }
 
+/// The execution resource backing one simulated thread — the per-thread
+/// half of the backend seam. Everything the scheduler does with it goes
+/// through [`ThreadExec::target`] / [`Core::resume_and_wait`]; everything
+/// the thread itself does goes through [`ExecRef`] / [`yield_blocked`].
+pub(crate) enum ThreadExec {
+    /// A parked OS thread handed control through a [`Conduit`].
+    Os {
+        conduit: Arc<Conduit>,
+        os_handle: Option<std::thread::JoinHandle<()>>,
+    },
+    /// A stackful user-space fiber on the scheduler's own OS thread.
+    Fiber(Box<fiber::Fiber>),
+    /// Spawned during shutdown: no execution resource was ever created and
+    /// the body never runs (the record is born `Finished`).
+    Retired,
+}
+
+impl ThreadExec {
+    /// The resumable address of this thread, for the scheduler side.
+    ///
+    /// Raw pointers instead of `Arc::clone`/`&Box`: the target must outlive
+    /// the state-lock release in `step`/`yield_blocked`, which it does
+    /// because thread records are never removed while the owning `Core` is
+    /// alive, and both pointees (`Arc` payload, boxed fiber) are heap-stable
+    /// across `threads` Vec reallocations. This saves two refcount RMWs per
+    /// event on the hot path.
+    fn target(&self) -> ResumeTarget {
+        match self {
+            ThreadExec::Os { conduit, .. } => ResumeTarget::Os(Arc::as_ptr(conduit)),
+            ThreadExec::Fiber(f) => ResumeTarget::Fiber(&**f as *const fiber::Fiber),
+            ThreadExec::Retired => unreachable!("retired threads are born Finished"),
+        }
+    }
+}
+
+/// A resumable thread address, as handed from the event queue to whichever
+/// party (scheduler or yielding thread) performs the switch. See
+/// [`ThreadExec::target`] for the lifetime argument.
+#[derive(Clone, Copy)]
+pub(crate) enum ResumeTarget {
+    Os(*const Conduit),
+    Fiber(*const fiber::Fiber),
+}
+
+/// A simulated thread's cached handle to its *own* execution resource, held
+/// inside [`Ctx`] so blocking never re-fetches it from the thread table
+/// under the state lock. Same lifetime argument as [`ResumeTarget`].
+pub(crate) enum ExecRef {
+    Os(Arc<Conduit>),
+    Fiber(*const fiber::Fiber),
+}
+
 pub(crate) struct ThreadRecord {
     /// Shared so diagnostics and tracing can take a reference-counted copy
     /// instead of allocating a fresh `String` on hot paths.
     pub name: Arc<str>,
     pub proc: ProcId,
-    pub conduit: Arc<Conduit>,
+    /// Execution resource behind the backend seam.
+    pub exec: ThreadExec,
     pub state: ThreadState,
     /// Monotonic token; a wake event only fires if its token matches.
     pub wait_id: u64,
@@ -200,7 +270,6 @@ pub(crate) struct ThreadRecord {
     pub daemon: bool,
     pub joiners: Vec<(ThreadId, u64)>,
     pub panic: Option<String>,
-    pub os_handle: Option<std::thread::JoinHandle<()>>,
 }
 
 /// Dense per-thread wake-generation slot, the cancellation index consulted
@@ -215,11 +284,77 @@ pub(crate) struct ThreadRecord {
 /// removing them eagerly would change observable time. Cancellation here
 /// means "guaranteed not to resume anything, and cheap to skip".
 #[derive(Clone, Copy)]
-pub(crate) struct WakeSlot {
+struct WakeSlot {
     /// Live wake generation (mirrors `ThreadRecord::wait_id`).
-    pub gen: u64,
+    gen: u64,
     /// True while the thread is blocked and generation `gen` may fire.
-    pub waiting: bool,
+    waiting: bool,
+}
+
+/// The wake-generation table plus its stale-wake counter, owned by exactly
+/// one [`CoreState`] — i.e. it lives *behind* the backend seam. Every
+/// simulation instance, whatever its backend, counts its own cancelled
+/// wakes; a process that runs an OS-thread simulation and a fiber
+/// simulation side by side can never share or double-count this state.
+pub(crate) struct WakeTable {
+    slots: Vec<WakeSlot>,
+    /// Dead wakes consumed so far (cancelled generations); diagnostics only.
+    stale: u64,
+}
+
+impl WakeTable {
+    fn new() -> WakeTable {
+        WakeTable {
+            slots: Vec::new(),
+            stale: 0,
+        }
+    }
+
+    /// Registers a freshly spawned thread (generation 0, armed for its
+    /// start wake).
+    fn push_live(&mut self) {
+        self.slots.push(WakeSlot {
+            gen: 0,
+            waiting: true,
+        });
+    }
+
+    /// Registers a thread spawned during shutdown: no wake may ever fire.
+    fn push_retired(&mut self) {
+        self.slots.push(WakeSlot {
+            gen: 0,
+            waiting: false,
+        });
+    }
+
+    /// Arms generation `gen` for `thread` (called from `prepare_block`;
+    /// bumping the generation is the cancellation point for older wakes).
+    fn arm(&mut self, thread: ThreadId, gen: u64) {
+        self.slots[thread.0] = WakeSlot { gen, waiting: true };
+    }
+
+    /// Disarms `thread` entirely (on finish/teardown).
+    fn disarm(&mut self, thread: ThreadId) {
+        self.slots[thread.0].waiting = false;
+    }
+
+    /// Consumes one popped event: `true` if it is the live wake for
+    /// `thread` (disarming it), `false` if it is a cancelled generation
+    /// (counted as stale).
+    fn consume(&mut self, thread: ThreadId, gen: u64) -> bool {
+        let slot = &mut self.slots[thread.0];
+        if slot.waiting && slot.gen == gen {
+            slot.waiting = false;
+            true
+        } else {
+            self.stale += 1;
+            false
+        }
+    }
+
+    pub(crate) fn stale(&self) -> u64 {
+        self.stale
+    }
 }
 
 pub(crate) struct ProcRecord {
@@ -266,12 +401,11 @@ pub(crate) struct CoreState {
     seq: u64,
     queue: EventQueue,
     pub threads: Vec<ThreadRecord>,
-    /// Wake-generation slots, indexed like `threads`; see [`WakeSlot`].
-    wake: Vec<WakeSlot>,
+    /// Wake-generation slots + stale counter, indexed like `threads`; see
+    /// [`WakeTable`].
+    pub wake: WakeTable,
     pub procs: Vec<ProcRecord>,
     pub events_processed: u64,
-    /// Dead wakes consumed so far (cancelled generations); diagnostics only.
-    pub stale_wakes: u64,
     /// Event budget; checked by both the scheduler and the thread-side
     /// hand-off fast path, so it lives with the rest of the shared state.
     pub max_events: Option<u64>,
@@ -355,10 +489,7 @@ impl CoreState {
         rec.state = ThreadState::Blocked;
         rec.blocked_on = label;
         let wid = rec.wait_id;
-        self.wake[thread.0] = WakeSlot {
-            gen: wid,
-            waiting: true,
-        };
+        self.wake.arm(thread, wid);
         self.trace_event(thread, Layer::Sched, Phase::Instant, "block", &[]);
         wid
     }
@@ -367,7 +498,8 @@ impl CoreState {
     /// runs out. Every popped event — dead or live — advances the clock and
     /// `events_processed` exactly as the scheduler always has, so virtual
     /// time and event counts are independent of *who* drives the queue (the
-    /// scheduler or a blocking thread's hand-off fast path).
+    /// scheduler or a blocking thread's hand-off fast path) and of which
+    /// backend executes the threads.
     pub(crate) fn next_live(&mut self) -> NextEvent {
         loop {
             if let Some(l) = self.max_events {
@@ -381,9 +513,7 @@ impl CoreState {
             debug_assert!(ev.time >= self.now);
             self.now = ev.time;
             self.events_processed += 1;
-            let slot = &mut self.wake[ev.thread.0];
-            if slot.waiting && slot.gen == ev.wait_id {
-                slot.waiting = false;
+            if self.wake.consume(ev.thread, ev.wait_id) {
                 self.threads[ev.thread.0].state = ThreadState::Running;
                 self.trace_event(ev.thread, Layer::Sched, Phase::Instant, "wake", &[]);
                 return NextEvent::Live(ev.thread);
@@ -391,7 +521,6 @@ impl CoreState {
             // Cancelled generation — one dense-slot load recognized it; no
             // thread record was touched. The clock tick above is deliberate
             // (pinned by golden traces and chaos hashes).
-            self.stale_wakes += 1;
         }
     }
 
@@ -402,6 +531,15 @@ impl CoreState {
 
 pub(crate) struct Core {
     pub state: Mutex<CoreState>,
+    /// Which execution backend this simulation's threads run on. Fixed at
+    /// construction; see [`crate::Backend`] for the selection rules.
+    backend: Backend,
+    /// Usable stack size for fiber-backed threads.
+    fiber_stack_size: usize,
+    /// The scheduler's own saved context (fiber backend): where a yielding
+    /// fiber switches to on a chain break, and what `resume_and_wait` saves
+    /// into before switching a fiber in. Unused on the OS-thread backend.
+    sched_ctx: fiber::ContextCell,
     /// Mirrors `CoreState::tracer.is_some()`; lives outside the mutex so
     /// disabled-tracing call sites pay one relaxed load and nothing else.
     pub trace_on: AtomicBool,
@@ -413,6 +551,7 @@ pub(crate) struct Core {
     /// True when the scheduler holds the turn; flipped with release/acquire
     /// ordering like the per-thread conduits. A yielding thread that cannot
     /// continue the hand-off chain stores `true` and unparks `sched_thread`.
+    /// OS-thread backend only; fibers switch into `sched_ctx` instead.
     sched_turn: AtomicBool,
     /// OS-thread handle of the scheduler side. Re-registered on every
     /// `resume_and_wait` because the `Simulation` may move between OS
@@ -438,17 +577,16 @@ pub(crate) enum StepResult {
 }
 
 impl Core {
-    pub(crate) fn new(seed: u64) -> Arc<Core> {
+    pub(crate) fn new(seed: u64, backend: Backend, fiber_stack_size: usize) -> Arc<Core> {
         Arc::new(Core {
             state: Mutex::new(CoreState {
                 now: SimTime::ZERO,
                 seq: 0,
                 queue: EventQueue::with_capacity(256),
                 threads: Vec::new(),
-                wake: Vec::new(),
+                wake: WakeTable::new(),
                 procs: Vec::new(),
                 events_processed: 0,
-                stale_wakes: 0,
                 max_events: None,
                 shutdown: false,
                 rng: SmallRng::seed_from_u64(seed),
@@ -457,11 +595,19 @@ impl Core {
                 trace_cap: 100_000,
                 tracer: None,
             }),
+            backend,
+            fiber_stack_size,
+            sched_ctx: fiber::ContextCell::new(),
             trace_on: AtomicBool::new(false),
             panicked_tid: AtomicUsize::new(NO_PANIC),
             sched_turn: AtomicBool::new(true),
             sched_thread: Mutex::new(None),
         })
+    }
+
+    /// The execution backend this simulation was built with.
+    pub(crate) fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// True if structured tracing is enabled (one relaxed atomic load).
@@ -487,8 +633,8 @@ impl Core {
         id
     }
 
-    /// Thread side: the calling simulated thread hands the turn back to the
-    /// scheduler (chain break: drain, budget, or thread exit).
+    /// Thread side (OS backend): the calling simulated thread hands the turn
+    /// back to the scheduler (chain break: drain, budget, or thread exit).
     pub(crate) fn wake_scheduler(&self) {
         self.sched_turn.store(true, AtomicOrdering::Release);
         if let Some(t) = self.sched_thread.lock().as_ref() {
@@ -496,22 +642,40 @@ impl Core {
         }
     }
 
-    /// Scheduler side: grant `conduit` the turn and park until some thread
+    /// Scheduler side: give `target` the turn and wait until some thread
     /// hands the turn back (possibly after a long direct hand-off chain).
-    fn resume_and_wait(&self, conduit: &Conduit, kind: u8) {
-        *self.sched_thread.lock() = Some(std::thread::current());
-        self.sched_turn.store(false, AtomicOrdering::Release);
-        conduit.grant(kind);
-        if spin_before_park() {
-            for _ in 0..128 {
-                if self.sched_turn.load(AtomicOrdering::Acquire) {
-                    return;
+    ///
+    /// OS backend: grant the conduit and park. Fiber backend: stage the
+    /// grant kind and perform one user-space context switch; the call
+    /// returns when any fiber switches back into `sched_ctx`.
+    fn resume_and_wait(&self, target: ResumeTarget, kind: u8) {
+        match target {
+            ResumeTarget::Os(conduit) => {
+                // SAFETY: see `ThreadExec::target`.
+                let conduit = unsafe { &*conduit };
+                *self.sched_thread.lock() = Some(std::thread::current());
+                self.sched_turn.store(false, AtomicOrdering::Release);
+                conduit.grant(kind);
+                if spin_before_park() {
+                    for _ in 0..128 {
+                        if self.sched_turn.load(AtomicOrdering::Acquire) {
+                            return;
+                        }
+                        std::hint::spin_loop();
+                    }
                 }
-                std::hint::spin_loop();
+                while !self.sched_turn.load(AtomicOrdering::Acquire) {
+                    std::thread::park();
+                }
             }
-        }
-        while !self.sched_turn.load(AtomicOrdering::Acquire) {
-            std::thread::park();
+            ResumeTarget::Fiber(f) => {
+                // SAFETY: see `ThreadExec::target`; strict alternation makes
+                // the save-slot traffic race-free (module docs in `fiber`).
+                unsafe {
+                    (*f).set_grant(kind);
+                    fiber::switch(self.sched_ctx.slot(), (*f).sp_slot());
+                }
+            }
         }
     }
 
@@ -527,39 +691,80 @@ impl Core {
     where
         F: FnOnce(&Ctx) + Send + 'static,
     {
-        let conduit = Conduit::new();
-        let tid;
-        {
-            let mut st = self.state.lock();
-            assert!(
-                proc.0 < st.procs.len(),
-                "spawn: unknown processor {proc}; call add_processor first"
-            );
-            tid = ThreadId(st.threads.len());
-            st.threads.push(ThreadRecord {
-                name: Arc::from(name),
-                proc,
-                conduit: Arc::clone(&conduit),
-                state: ThreadState::Blocked,
-                wait_id: 0,
-                blocked_on: "start",
-                daemon,
-                joiners: Vec::new(),
-                panic: None,
-                os_handle: None,
-            });
-            st.wake.push(WakeSlot {
-                gen: 0,
-                waiting: true,
-            });
-            if st.shutdown {
-                // The simulation is being torn down; never start the body.
-                st.threads[tid.0].state = ThreadState::Finished;
-                st.wake[tid.0].waiting = false;
-                return tid;
-            }
+        match self.backend {
+            Backend::OsThreads => self.spawn_os_thread(proc, name, daemon, f),
+            Backend::Fibers => self.spawn_fiber(proc, name, daemon, f),
+        }
+    }
+
+    /// Registers the bookkeeping every new thread shares: the record, its
+    /// wake slot, and (unless the simulation is shutting down, in which
+    /// case the record is born `Finished` and the body never runs) the
+    /// spawn trace event and start wake. Returns `(tid, live)`.
+    fn register_thread(
+        st: &mut CoreState,
+        proc: ProcId,
+        name: &str,
+        daemon: bool,
+        exec: ThreadExec,
+    ) -> (ThreadId, bool) {
+        assert!(
+            proc.0 < st.procs.len(),
+            "spawn: unknown processor {proc}; call add_processor first"
+        );
+        let tid = ThreadId(st.threads.len());
+        let live = !st.shutdown;
+        st.threads.push(ThreadRecord {
+            name: Arc::from(name),
+            proc,
+            exec,
+            state: if live {
+                ThreadState::Blocked
+            } else {
+                ThreadState::Finished
+            },
+            wait_id: 0,
+            blocked_on: "start",
+            daemon,
+            joiners: Vec::new(),
+            panic: None,
+        });
+        if live {
+            st.wake.push_live();
             st.trace_event(tid, Layer::Sched, Phase::Instant, "spawn", &[]);
             st.schedule_wake_now(tid, 0);
+        } else {
+            st.wake.push_retired();
+        }
+        (tid, live)
+    }
+
+    fn spawn_os_thread<F>(
+        self: &Arc<Self>,
+        proc: ProcId,
+        name: &str,
+        daemon: bool,
+        f: F,
+    ) -> ThreadId
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        let conduit = Conduit::new();
+        let (tid, live) = {
+            let mut st = self.state.lock();
+            Self::register_thread(
+                &mut st,
+                proc,
+                name,
+                daemon,
+                ThreadExec::Os {
+                    conduit: Arc::clone(&conduit),
+                    os_handle: None,
+                },
+            )
+        };
+        if !live {
+            return tid;
         }
 
         let core = Arc::clone(self);
@@ -569,36 +774,8 @@ impl Core {
             .name(os_name)
             .spawn(move || {
                 thread_conduit.wait_for_turn();
-                let run_body = !core.state.lock().shutdown;
-                let mut panic_msg = None;
-                if run_body {
-                    let ctx = Ctx::new(Arc::clone(&core), tid);
-                    let result = panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
-                    if let Err(payload) = result {
-                        if !payload.is::<ShutdownUnwind>() {
-                            // `&*payload`: borrow the contents, not the Box
-                            // (a `&Box<dyn Any>` would unsize to `&dyn Any`
-                            // *as a Box* and every downcast would miss).
-                            panic_msg = Some(payload_to_string(&*payload));
-                        }
-                    }
-                }
-                {
-                    let mut st = core.state.lock();
-                    if panic_msg.is_some() {
-                        core.panicked_tid.store(tid.0, AtomicOrdering::Release);
-                    }
-                    st.wake[tid.0].waiting = false;
-                    let joiners = {
-                        let rec = &mut st.threads[tid.0];
-                        rec.state = ThreadState::Finished;
-                        rec.panic = panic_msg;
-                        std::mem::take(&mut rec.joiners)
-                    };
-                    for (jt, jw) in joiners {
-                        st.schedule_wake_now(jt, jw);
-                    }
-                }
+                let panic_msg = run_thread_body(&core, tid, f);
+                finish_thread(&core, tid, panic_msg);
                 // Exit always returns the turn to the scheduler — never a
                 // direct hand-off — so `stop_on` and panic checks cannot be
                 // bypassed by a chain.
@@ -607,7 +784,39 @@ impl Core {
             })
             .expect("failed to spawn OS thread backing a simulated thread");
 
-        self.state.lock().threads[tid.0].os_handle = Some(handle);
+        if let ThreadExec::Os { os_handle, .. } = &mut self.state.lock().threads[tid.0].exec {
+            *os_handle = Some(handle);
+        }
+        tid
+    }
+
+    fn spawn_fiber<F>(self: &Arc<Self>, proc: ProcId, name: &str, daemon: bool, f: F) -> ThreadId
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        let mut st = self.state.lock();
+        if st.shutdown {
+            // Never build a fiber during teardown: its entry closure would
+            // hold an `Arc<Core>` in a cycle nothing is left to break.
+            let (tid, _) = Self::register_thread(&mut st, proc, name, daemon, ThreadExec::Retired);
+            return tid;
+        }
+        let core = Arc::clone(self);
+        let tid_for_entry = ThreadId(st.threads.len());
+        let entry: fiber::EntryFn = Box::new(move || {
+            let panic_msg = run_thread_body(&core, tid_for_entry, f);
+            finish_thread(&core, tid_for_entry, panic_msg);
+            // Return the scheduler slot and drop every capture (notably the
+            // `Arc<Core>`) *before* the final switch-out, so a finished
+            // fiber's dead stack keeps nothing alive. The slot stays valid:
+            // the driving `Simulation` owns its own `Arc<Core>`.
+            let slot = core.sched_ctx.slot();
+            drop(core);
+            slot
+        });
+        let fiber = fiber::Fiber::new(self.fiber_stack_size, entry);
+        let (tid, _) = Self::register_thread(&mut st, proc, name, daemon, ThreadExec::Fiber(fiber));
+        debug_assert_eq!(tid, tid_for_entry);
         tid
     }
 
@@ -616,13 +825,13 @@ impl Core {
     /// until one resumes a thread, the queue drains, `stop_on` finishes, or
     /// the event budget runs out. The resumed thread may keep the event loop
     /// going through direct hand-offs (see the module docs); the scheduler
-    /// parks until the chain breaks.
+    /// waits until the chain breaks.
     ///
     /// # Panics
     ///
     /// Propagates panics from simulated threads.
     pub(crate) fn step(self: &Arc<Self>, stop_on: Option<ThreadId>) -> StepResult {
-        let conduit = {
+        let target = {
             let mut st = self.state.lock();
             if let Some(t) = stop_on {
                 if st.threads[t.0].state == ThreadState::Finished {
@@ -632,20 +841,10 @@ impl Core {
             match st.next_live() {
                 NextEvent::Drained => return StepResult::Drained,
                 NextEvent::LimitHit => return StepResult::LimitExceeded,
-                // Raw pointer instead of `Arc::clone`: the conduit must
-                // outlive the unlock below, which it does because thread
-                // records (and the `Arc`s they hold) are never removed
-                // while the `Core` behind `self` is alive, and the
-                // `Arc`'s pointee is heap-stable across `threads` Vec
-                // reallocations. This saves two refcount RMWs per event.
-                NextEvent::Live(tid) => {
-                    let p: *const Conduit = Arc::as_ptr(&st.threads[tid.0].conduit);
-                    p
-                }
+                NextEvent::Live(tid) => st.threads[tid.0].exec.target(),
             }
         };
-        // SAFETY: see the comment at `Arc::as_ptr` above.
-        self.resume_and_wait(unsafe { &*conduit }, GRANT_RUN);
+        self.resume_and_wait(target, GRANT_RUN);
         if self.panicked_tid.load(AtomicOrdering::Acquire) != NO_PANIC {
             let panicker = self.panicked_tid.swap(NO_PANIC, AtomicOrdering::AcqRel);
             let panic_info = {
@@ -654,6 +853,13 @@ impl Core {
                 rec.panic.take().map(|msg| (Arc::clone(&rec.name), msg))
             };
             if let Some((name, msg)) = panic_info {
+                // Tear the simulation down *before* unwinding the scheduler:
+                // fibers resumed for shutdown from an already-panicking host
+                // thread would observe `std::thread::panicking()` and take
+                // benign returns instead of `ShutdownUnwind`. Shutting down
+                // first unwinds every remaining thread cleanly on both
+                // backends; the later `Drop` shutdown becomes a no-op.
+                self.initiate_shutdown();
                 panic!("simulated thread '{name}' panicked: {msg}");
             }
         }
@@ -666,47 +872,103 @@ impl Core {
         // A destructor may block again during unwinding (it receives benign
         // fallback values), so several rounds can be needed.
         for _ in 0..64 {
-            let pending: Vec<Arc<Conduit>> = {
+            let pending: Vec<ResumeTarget> = {
                 let st = self.state.lock();
                 st.threads
                     .iter()
                     .filter(|t| t.state != ThreadState::Finished)
-                    .map(|t| Arc::clone(&t.conduit))
+                    .map(|t| t.exec.target())
                     .collect()
             };
             if pending.is_empty() {
                 break;
             }
-            for c in pending {
-                self.resume_and_wait(&c, GRANT_SHUTDOWN);
+            for target in pending {
+                self.resume_and_wait(target, GRANT_SHUTDOWN);
             }
         }
         let handles: Vec<_> = {
             let mut st = self.state.lock();
             st.threads
                 .iter_mut()
-                .filter_map(|t| t.os_handle.take())
+                .filter_map(|t| match &mut t.exec {
+                    ThreadExec::Os { os_handle, .. } => os_handle.take(),
+                    _ => None,
+                })
                 .collect()
         };
         for h in handles {
             let _ = h.join();
         }
+        // Fiber stacks are released when the thread records drop with the
+        // `Core` itself; after the rounds above every fiber has run its
+        // entry to completion, so no stack holds live frames (or `Arc`s).
+    }
+}
+
+/// Runs a simulated thread's body under `catch_unwind`, unless the
+/// simulation began shutting down before the body first ran. Returns the
+/// panic message for real panics (`ShutdownUnwind` is the expected teardown
+/// path and reports nothing). Shared by both backends.
+fn run_thread_body<F>(core: &Arc<Core>, tid: ThreadId, f: F) -> Option<String>
+where
+    F: FnOnce(&Ctx) + Send + 'static,
+{
+    let run_body = !core.state.lock().shutdown;
+    let mut panic_msg = None;
+    if run_body {
+        let ctx = Ctx::new(Arc::clone(core), tid);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+        if let Err(payload) = result {
+            if !payload.is::<ShutdownUnwind>() {
+                // `&*payload`: borrow the contents, not the Box (a
+                // `&Box<dyn Any>` would unsize to `&dyn Any` *as a Box* and
+                // every downcast would miss).
+                panic_msg = Some(payload_to_string(&*payload));
+            }
+        }
+    }
+    panic_msg
+}
+
+/// Records a thread's exit: panic flag, wake disarm, `Finished` state, and
+/// joiner wakes. Shared by both backends.
+fn finish_thread(core: &Core, tid: ThreadId, panic_msg: Option<String>) {
+    let mut st = core.state.lock();
+    if panic_msg.is_some() {
+        core.panicked_tid.store(tid.0, AtomicOrdering::Release);
+    }
+    st.wake.disarm(tid);
+    let joiners = {
+        let rec = &mut st.threads[tid.0];
+        rec.state = ThreadState::Finished;
+        rec.panic = panic_msg;
+        std::mem::take(&mut rec.joiners)
+    };
+    for (jt, jw) in joiners {
+        st.schedule_wake_now(jt, jw);
     }
 }
 
 /// Thread-side blocking yield: the other half of the hand-off fast path.
 ///
 /// Lives here (not in `ctx.rs`) so all turn-protocol code sits next to
-/// [`Conduit`] and [`Core::resume_and_wait`]. Called by `Ctx::yield_blocked`
-/// after `prepare_block` + wake registration.
-pub(crate) fn yield_blocked(core: &Core, tid: ThreadId, conduit: &Conduit) -> WakeStatus {
+/// [`Conduit`], [`fiber`] and [`Core::resume_and_wait`]. Called by
+/// `Ctx::yield_blocked` after `prepare_block` + wake registration.
+///
+/// The branch structure — shutdown check, then one `next_live` call, then
+/// self-wake / direct grant / chain break — is shared verbatim by both
+/// backends, so the *order* of queue pops, RNG draws and trace events (and
+/// with it every golden hash) cannot depend on the backend; only the
+/// switch mechanism at the leaves differs.
+pub(crate) fn yield_blocked(core: &Core, tid: ThreadId, exec: &ExecRef) -> WakeStatus {
     enum Next {
         /// Break the chain; the scheduler decides (drain, budget, shutdown).
         Sched,
         /// Our own wake was the queue head: keep running, zero switches.
         SelfWake,
         /// Hand the turn straight to the woken thread: one switch.
-        Grant(*const Conduit),
+        Grant(ResumeTarget),
     }
     let next = {
         let mut st = core.state.lock();
@@ -718,25 +980,60 @@ pub(crate) fn yield_blocked(core: &Core, tid: ThreadId, conduit: &Conduit) -> Wa
         match st.next_live() {
             NextEvent::Drained | NextEvent::LimitHit => Next::Sched,
             NextEvent::Live(t) if t == tid => Next::SelfWake,
-            NextEvent::Live(t) => Next::Grant(Arc::as_ptr(&st.threads[t.0].conduit)),
+            NextEvent::Live(t) => Next::Grant(st.threads[t.0].exec.target()),
         }
     };
-    match next {
-        Next::SelfWake => WakeStatus::Woken,
-        Next::Grant(target) => {
+    match (next, exec) {
+        (Next::SelfWake, _) => WakeStatus::Woken,
+        (Next::Grant(target), ExecRef::Os(conduit)) => {
             conduit.relinquish();
-            // SAFETY: thread records (and their conduit Arcs) are never
-            // removed while the core is alive; see `Core::step`.
-            unsafe { (*target).grant(GRANT_RUN) };
+            match target {
+                // SAFETY: thread records (and their conduit Arcs / fiber
+                // boxes) are never removed while the core is alive; see
+                // `ThreadExec::target`.
+                ResumeTarget::Os(c) => unsafe { (*c).grant(GRANT_RUN) },
+                ResumeTarget::Fiber(_) => {
+                    unreachable!("fiber target under the os-threads backend")
+                }
+            }
             match conduit.wait_granted() {
                 GRANT_SHUTDOWN => WakeStatus::Shutdown,
                 _ => WakeStatus::Woken,
             }
         }
-        Next::Sched => {
+        (Next::Grant(target), ExecRef::Fiber(me)) => {
+            match target {
+                ResumeTarget::Fiber(next_fiber) => {
+                    // SAFETY: same lifetime argument as above; the switch
+                    // hands this OS thread to `next_fiber` and returns when
+                    // someone grants us again.
+                    unsafe {
+                        (*next_fiber).set_grant(GRANT_RUN);
+                        fiber::switch((**me).sp_slot(), (*next_fiber).sp_slot());
+                    }
+                }
+                ResumeTarget::Os(_) => unreachable!("os target under the fiber backend"),
+            }
+            match unsafe { (**me).grant() } {
+                GRANT_SHUTDOWN => WakeStatus::Shutdown,
+                _ => WakeStatus::Woken,
+            }
+        }
+        (Next::Sched, ExecRef::Os(conduit)) => {
             conduit.relinquish();
             core.wake_scheduler();
             match conduit.wait_granted() {
+                GRANT_SHUTDOWN => WakeStatus::Shutdown,
+                _ => WakeStatus::Woken,
+            }
+        }
+        (Next::Sched, ExecRef::Fiber(me)) => {
+            // SAFETY: as above; the scheduler context is suspended inside
+            // `resume_and_wait` (strict alternation), so its slot is valid.
+            unsafe {
+                fiber::switch((**me).sp_slot(), core.sched_ctx.slot());
+            }
+            match unsafe { (**me).grant() } {
                 GRANT_SHUTDOWN => WakeStatus::Shutdown,
                 _ => WakeStatus::Woken,
             }

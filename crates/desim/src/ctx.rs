@@ -6,7 +6,8 @@ use std::sync::Arc;
 use rand::RngExt;
 
 use crate::core::{
-    shutdown_unwind_unless_panicking, Conduit, Core, ProcId, ThreadId, TraceEntry, WakeStatus,
+    shutdown_unwind_unless_panicking, Core, ExecRef, ProcId, ThreadExec, ThreadId, TraceEntry,
+    WakeStatus,
 };
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Layer, Phase};
@@ -42,9 +43,10 @@ pub enum SwitchCharge {
 pub struct Ctx {
     core: Arc<Core>,
     tid: ThreadId,
-    /// This thread's hand-off cell, cached once at construction so blocking
-    /// never re-fetches it from the thread table under the state lock.
-    conduit: Arc<Conduit>,
+    /// This thread's own execution resource (conduit or fiber), cached once
+    /// at construction so blocking never re-fetches it from the thread
+    /// table under the state lock.
+    exec: ExecRef,
 }
 
 impl std::fmt::Debug for Ctx {
@@ -55,8 +57,15 @@ impl std::fmt::Debug for Ctx {
 
 impl Ctx {
     pub(crate) fn new(core: Arc<Core>, tid: ThreadId) -> Self {
-        let conduit = Arc::clone(&core.state.lock().threads[tid.0].conduit);
-        Ctx { core, tid, conduit }
+        let exec = match &core.state.lock().threads[tid.0].exec {
+            ThreadExec::Os { conduit, .. } => ExecRef::Os(Arc::clone(conduit)),
+            // The raw pointer stays valid for the `Ctx`'s whole life: the
+            // boxed fiber is heap-stable and thread records are never
+            // removed while the core behind `self.core` is alive.
+            ThreadExec::Fiber(f) => ExecRef::Fiber(&**f as *const _),
+            ThreadExec::Retired => unreachable!("retired threads never get a Ctx"),
+        };
+        Ctx { core, tid, exec }
     }
 
     pub(crate) fn core(&self) -> &Arc<Core> {
@@ -93,7 +102,7 @@ impl Ctx {
     /// any OS-level switch, and if another thread's wake does it grants that
     /// thread directly instead of detouring through the scheduler.
     pub(crate) fn yield_blocked(&self) -> WakeStatus {
-        crate::core::yield_blocked(&self.core, self.tid, &self.conduit)
+        crate::core::yield_blocked(&self.core, self.tid, &self.exec)
     }
 
     /// Suspends the thread for `d` of virtual time without occupying a CPU.

@@ -1,0 +1,510 @@
+//! Stackful fibers: the user-space context-switch primitive behind the
+//! `fibers` execution backend (see [`crate::Backend`]).
+//!
+//! A [`Fiber`] is a guard-paged stack plus a saved stack pointer. Switching
+//! between two execution contexts is a single call to a tiny assembly
+//! routine that saves the callee-saved registers on the current stack,
+//! stores the stack pointer, and restores the other context's — no futex,
+//! no syscall, no kernel involvement. On the 1-core reference container
+//! this turns the scheduler→thread hand-off from a ~1 µs park/unpark round
+//! trip into a ~10 ns register shuffle.
+//!
+//! The primitive is vendored in-tree (no external crate): `global_asm!`
+//! blocks for x86_64 and aarch64 Linux, and direct `extern "C"`
+//! declarations of `mmap`/`mprotect`/`munmap` for the guard-paged stacks
+//! (std already links libc, so the symbols are always available).
+//!
+//! # Safety model
+//!
+//! The simulator's strict alternation — at any instant exactly one party
+//! runs: the scheduler *or* one simulated thread — is what makes the raw
+//! pointer and `UnsafeCell` traffic here sound. A context's save slot is
+//! only written by the context itself (as it suspends) and only read by
+//! the single party that resumes it; there is never a concurrent reader.
+//!
+//! # Teardown
+//!
+//! Fibers unwind with the same `ShutdownUnwind` payload as OS-thread-backed
+//! simulated threads; each fiber's entry has a `catch_unwind` boundary, so
+//! the unwind never crosses the assembly switch. One corner differs from
+//! the OS backend: `std::thread::panicking()` is per *OS thread*, so if a
+//! `Simulation` is dropped while its host thread is already unwinding a
+//! panic that did **not** come from the simulator, fibers resumed for
+//! shutdown observe `panicking() == true` and tear down via benign returns
+//! (closed channels, elapsed timeouts) rather than `ShutdownUnwind`. The
+//! scheduler avoids the common instance of this by shutting the simulation
+//! down *before* re-raising a simulated thread's panic.
+
+#![allow(unsafe_code)]
+
+use std::cell::{Cell, UnsafeCell};
+
+/// Whether this target supports the fiber backend (64-bit Linux on
+/// x86_64 or aarch64 — the architectures the vendored switch covers).
+pub(crate) const SUPPORTED: bool = cfg!(all(
+    target_os = "linux",
+    target_pointer_width = "64",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+));
+
+/// Default usable stack size for fiber-backed simulated threads. The
+/// mapping is lazy (anonymous mmap), so untouched pages cost only address
+/// space; 1 MiB matches what the deepest workspace workloads (TSP branch
+/// and bound, Orca marshalling) need with a wide margin.
+pub(crate) const DEFAULT_STACK_SIZE: usize = 1 << 20;
+
+/// A suspended execution context's save slot: the stack pointer written by
+/// `desim_fiber_switch` when the context suspends.
+///
+/// `Sync`/`Send` are asserted because strict alternation serializes all
+/// access (see module docs): the slot is written by the suspending context
+/// and read by the one party resuming it, never concurrently.
+pub(crate) struct ContextCell(UnsafeCell<usize>);
+
+unsafe impl Send for ContextCell {}
+unsafe impl Sync for ContextCell {}
+
+impl ContextCell {
+    pub(crate) const fn new() -> Self {
+        ContextCell(UnsafeCell::new(0))
+    }
+
+    /// Raw pointer to the saved stack-pointer word.
+    pub(crate) fn slot(&self) -> *mut usize {
+        self.0.get()
+    }
+}
+
+#[cfg(all(
+    target_os = "linux",
+    target_pointer_width = "64",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod imp {
+    use super::*;
+
+    // ---------------------------------------------------------------
+    // Context switch, x86_64 SysV: save the callee-saved registers on
+    // the current stack, publish rsp into `*save`, adopt `new_sp`, and
+    // restore. The boot thunk is what a freshly crafted stack "returns"
+    // into: it moves the Fiber pointer (staged in the r12 slot) into the
+    // first-argument register and calls the Rust entry.
+    // ---------------------------------------------------------------
+    #[cfg(target_arch = "x86_64")]
+    core::arch::global_asm!(
+        r#"
+        .text
+        .globl desim_fiber_switch
+        .hidden desim_fiber_switch
+        .type desim_fiber_switch, @function
+        .balign 16
+desim_fiber_switch:
+        .cfi_startproc
+        push rbp
+        push rbx
+        push r12
+        push r13
+        push r14
+        push r15
+        mov qword ptr [rdi], rsp
+        mov rsp, rsi
+        pop r15
+        pop r14
+        pop r13
+        pop r12
+        pop rbx
+        pop rbp
+        ret
+        .cfi_endproc
+        .size desim_fiber_switch, . - desim_fiber_switch
+
+        .globl desim_fiber_boot
+        .hidden desim_fiber_boot
+        .type desim_fiber_boot, @function
+        .balign 16
+desim_fiber_boot:
+        mov rdi, r12
+        call desim_fiber_entry
+        ud2
+        .size desim_fiber_boot, . - desim_fiber_boot
+        "#
+    );
+
+    // ---------------------------------------------------------------
+    // Context switch, aarch64 AAPCS64: x19–x28, fp/lr, d8–d15 in a
+    // 160-byte frame. The boot thunk receives the Fiber pointer in the
+    // x19 slot and the thunk address in the x30 slot.
+    // ---------------------------------------------------------------
+    #[cfg(target_arch = "aarch64")]
+    core::arch::global_asm!(
+        r#"
+        .text
+        .globl desim_fiber_switch
+        .hidden desim_fiber_switch
+        .type desim_fiber_switch, %function
+        .balign 16
+desim_fiber_switch:
+        sub sp, sp, #160
+        stp x19, x20, [sp, #0]
+        stp x21, x22, [sp, #16]
+        stp x23, x24, [sp, #32]
+        stp x25, x26, [sp, #48]
+        stp x27, x28, [sp, #64]
+        stp x29, x30, [sp, #80]
+        stp d8,  d9,  [sp, #96]
+        stp d10, d11, [sp, #112]
+        stp d12, d13, [sp, #128]
+        stp d14, d15, [sp, #144]
+        mov x9, sp
+        str x9, [x0]
+        mov sp, x1
+        ldp x19, x20, [sp, #0]
+        ldp x21, x22, [sp, #16]
+        ldp x23, x24, [sp, #32]
+        ldp x25, x26, [sp, #48]
+        ldp x27, x28, [sp, #64]
+        ldp x29, x30, [sp, #80]
+        ldp d8,  d9,  [sp, #96]
+        ldp d10, d11, [sp, #112]
+        ldp d12, d13, [sp, #128]
+        ldp d14, d15, [sp, #144]
+        add sp, sp, #160
+        ret
+        .size desim_fiber_switch, . - desim_fiber_switch
+
+        .globl desim_fiber_boot
+        .hidden desim_fiber_boot
+        .type desim_fiber_boot, %function
+        .balign 16
+desim_fiber_boot:
+        mov x0, x19
+        bl desim_fiber_entry
+        brk #0x1
+        .size desim_fiber_boot, . - desim_fiber_boot
+        "#
+    );
+
+    extern "C" {
+        /// Saves the current context's callee-saved state, writes its
+        /// stack pointer to `*save`, and resumes the context whose stack
+        /// pointer is `new_sp`. Returns when something switches back.
+        fn desim_fiber_switch(save: *mut usize, new_sp: usize);
+        fn desim_fiber_boot();
+    }
+
+    /// Minimal libc surface for guard-paged stacks. std links libc, so
+    /// these glibc symbols are always present; the constants are the
+    /// Linux ABI values (identical on x86_64 and aarch64).
+    mod sys {
+        use core::ffi::c_void;
+
+        extern "C" {
+            pub fn mmap(
+                addr: *mut c_void,
+                len: usize,
+                prot: i32,
+                flags: i32,
+                fd: i32,
+                offset: i64,
+            ) -> *mut c_void;
+            pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+            pub fn mprotect(addr: *mut c_void, len: usize, prot: i32) -> i32;
+            pub fn sysconf(name: i32) -> i64;
+        }
+
+        pub const PROT_NONE: i32 = 0;
+        pub const PROT_READ: i32 = 0x1;
+        pub const PROT_WRITE: i32 = 0x2;
+        pub const MAP_PRIVATE: i32 = 0x2;
+        pub const MAP_ANONYMOUS: i32 = 0x20;
+        pub const MAP_STACK: i32 = 0x20000;
+        pub const _SC_PAGESIZE: i32 = 30;
+    }
+
+    fn page_size() -> usize {
+        use std::sync::OnceLock;
+        static PAGE: OnceLock<usize> = OnceLock::new();
+        *PAGE.get_or_init(|| {
+            let p = unsafe { sys::sysconf(sys::_SC_PAGESIZE) };
+            assert!(p > 0, "sysconf(_SC_PAGESIZE) failed");
+            p as usize
+        })
+    }
+
+    /// An anonymous mapping of `usable + guard page` bytes. The lowest
+    /// page is `PROT_NONE`: stacks grow down, so overflow hits the guard
+    /// and faults instead of silently corrupting the neighbouring
+    /// allocation. Unmapped on drop.
+    struct FiberStack {
+        base: *mut u8,
+        len: usize,
+    }
+
+    impl FiberStack {
+        fn new(stack_size: usize) -> FiberStack {
+            let page = page_size();
+            let usable = stack_size.max(page).div_ceil(page) * page;
+            let len = usable + page;
+            let base = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ | sys::PROT_WRITE,
+                    sys::MAP_PRIVATE | sys::MAP_ANONYMOUS | sys::MAP_STACK,
+                    -1,
+                    0,
+                )
+            };
+            assert!(
+                base as isize != -1 && !base.is_null(),
+                "fiber stack mmap({len}) failed"
+            );
+            let rc = unsafe { sys::mprotect(base, page, sys::PROT_NONE) };
+            assert_eq!(rc, 0, "fiber stack guard mprotect failed");
+            FiberStack {
+                base: base as *mut u8,
+                len,
+            }
+        }
+
+        /// One past the highest usable byte (stacks grow down from here).
+        fn top(&self) -> usize {
+            self.base as usize + self.len
+        }
+    }
+
+    impl Drop for FiberStack {
+        fn drop(&mut self) {
+            unsafe {
+                sys::munmap(self.base as *mut _, self.len);
+            }
+        }
+    }
+
+    /// The closure a fiber runs. It returns the scheduler's [`ContextCell`]
+    /// slot so the final switch-out happens *after* every capture (notably
+    /// the `Arc<Core>`) has been dropped — otherwise a finished fiber's
+    /// dead stack would keep the core alive in a cycle.
+    pub(crate) type EntryFn = Box<dyn FnOnce() -> *mut usize + 'static>;
+
+    /// A simulated thread's user-space execution context: guard-paged
+    /// stack, saved stack pointer, and the grant word the resuming party
+    /// writes before switching in (mirrors the OS backend's `Conduit`
+    /// kind byte — `GRANT_RUN` / `GRANT_SHUTDOWN`).
+    ///
+    /// `Send` is asserted so `Box<Fiber>` can sit inside the core's
+    /// thread table (which is behind a `Mutex`); actual execution and all
+    /// cell access is serialized by strict alternation.
+    pub(crate) struct Fiber {
+        sp: UnsafeCell<usize>,
+        grant: Cell<u8>,
+        entry: UnsafeCell<Option<EntryFn>>,
+        stack: FiberStack,
+    }
+
+    unsafe impl Send for Fiber {}
+
+    impl Fiber {
+        /// Creates a fiber whose first resume runs `entry` from the top
+        /// of a fresh guard-paged stack.
+        pub(crate) fn new(stack_size: usize, entry: EntryFn) -> Box<Fiber> {
+            let fiber = Box::new(Fiber {
+                sp: UnsafeCell::new(0),
+                grant: Cell::new(0),
+                entry: UnsafeCell::new(Some(entry)),
+                stack: FiberStack::new(stack_size),
+            });
+            let arg = &*fiber as *const Fiber as usize;
+            unsafe {
+                *fiber.sp.get() = init_stack(fiber.stack.top(), arg);
+            }
+            fiber
+        }
+
+        /// The saved-stack-pointer slot for [`switch`].
+        pub(crate) fn sp_slot(&self) -> *mut usize {
+            self.sp.get()
+        }
+
+        /// Stages the grant kind the fiber will observe when it resumes.
+        pub(crate) fn set_grant(&self, kind: u8) {
+            self.grant.set(kind);
+        }
+
+        /// The grant kind staged by whoever resumed this fiber.
+        pub(crate) fn grant(&self) -> u8 {
+            self.grant.get()
+        }
+    }
+
+    /// Crafts the initial stack image so that restoring it "returns" into
+    /// `desim_fiber_boot` with the `Fiber` pointer in a callee-saved slot.
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn init_stack(top: usize, arg: usize) -> usize {
+        // Layout (ascending): r15 r14 r13 r12 rbx rbp <boot return addr>.
+        // After the six pops and `ret`, rsp == top (16-aligned); boot's
+        // `call` then gives the entry rsp ≡ 8 (mod 16), the SysV ABI's
+        // at-function-entry alignment.
+        let top = top & !0xf;
+        let sp = top - 7 * 8;
+        let slots = sp as *mut usize;
+        for i in 0..6 {
+            slots.add(i).write(0);
+        }
+        slots.add(3).write(arg); // popped into r12
+        slots.add(6).write(desim_fiber_boot as *const () as usize);
+        sp
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn init_stack(top: usize, arg: usize) -> usize {
+        // One 160-byte restore frame: x19 gets the Fiber pointer, the
+        // x30 slot (offset 88) the boot thunk; everything else zero.
+        // After the restore sp == top (16-aligned, as AAPCS64 requires).
+        let top = top & !0xf;
+        let sp = top - 160;
+        let slots = sp as *mut usize;
+        for i in 0..20 {
+            slots.add(i).write(0);
+        }
+        slots.write(arg); // x19
+        slots.add(11).write(desim_fiber_boot as *const () as usize); // x30
+        sp
+    }
+
+    /// Suspends the context owning `save` and resumes the one saved in
+    /// `*resume`. Returns when something switches back into `save`.
+    ///
+    /// # Safety
+    ///
+    /// `save` must be the running context's own slot and `*resume` a
+    /// stack pointer produced by [`init_stack`] or a prior suspension;
+    /// strict alternation must guarantee no other party touches either
+    /// slot concurrently.
+    pub(crate) unsafe fn switch(save: *mut usize, resume: *mut usize) {
+        desim_fiber_switch(save, *resume);
+    }
+
+    /// First (and only) frame of every fiber. Runs the entry closure,
+    /// which returns the scheduler slot to switch out through once all
+    /// its captures are dropped. A finished fiber must never be resumed
+    /// again; the trailing `unreachable!` aborts (unwind out of an
+    /// `extern "C"` frame) if the scheduler ever violates that.
+    #[no_mangle]
+    extern "C" fn desim_fiber_entry(fiber: *mut Fiber) -> ! {
+        let sched_slot = {
+            let entry = unsafe { (*(*fiber).entry.get()).take().expect("fiber started twice") };
+            entry()
+        };
+        unsafe {
+            desim_fiber_switch((*fiber).sp.get(), *sched_slot);
+        }
+        unreachable!("finished fiber resumed");
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        /// Raw primitive smoke test: a fiber that bounces control back
+        /// and forth with its spawner, then finishes.
+        #[test]
+        fn raw_switch_round_trips() {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            use std::sync::Arc;
+
+            static MAIN_CTX: ContextCell = ContextCell::new();
+            let hits = Arc::new(AtomicUsize::new(0));
+            let hits2 = Arc::clone(&hits);
+
+            // The entry bumps the counter, yields back to main, bumps
+            // again, and returns main's slot for its final switch-out.
+            struct SelfSp(*mut usize);
+            unsafe impl Send for SelfSp {}
+            let self_sp = Arc::new(std::sync::Mutex::new(SelfSp(std::ptr::null_mut())));
+            let self_sp2 = Arc::clone(&self_sp);
+
+            let fiber = Fiber::new(64 * 1024, {
+                Box::new(move || {
+                    hits2.fetch_add(1, Ordering::Relaxed);
+                    let my_sp = self_sp2.lock().unwrap().0;
+                    unsafe { switch(my_sp, MAIN_CTX.slot()) };
+                    hits2.fetch_add(1, Ordering::Relaxed);
+                    MAIN_CTX.slot()
+                })
+            });
+            self_sp.lock().unwrap().0 = fiber.sp_slot();
+
+            unsafe { switch(MAIN_CTX.slot(), fiber.sp_slot()) };
+            assert_eq!(hits.load(Ordering::Relaxed), 1);
+            unsafe { switch(MAIN_CTX.slot(), fiber.sp_slot()) };
+            assert_eq!(hits.load(Ordering::Relaxed), 2);
+        }
+
+        /// Guard page: the mapping's lowest page must reject writes. We
+        /// only check the mapping exists with the right span here (a
+        /// fault test would take the process down).
+        #[test]
+        fn stack_has_guard_page() {
+            let page = page_size();
+            let stack = FiberStack::new(8 * 1024);
+            assert_eq!(stack.len % page, 0);
+            assert!(stack.len >= 8 * 1024 + page);
+            assert_eq!(stack.top() - stack.base as usize, stack.len);
+        }
+    }
+}
+
+#[cfg(all(
+    target_os = "linux",
+    target_pointer_width = "64",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub(crate) use imp::{switch, EntryFn, Fiber};
+
+// ------------------------------------------------------------------
+// Stub for targets without a vendored switch. Backend resolution never
+// selects `Backend::Fibers` when `SUPPORTED` is false, so these bodies
+// are unreachable; they exist only so `core.rs` compiles everywhere.
+// ------------------------------------------------------------------
+#[cfg(not(all(
+    target_os = "linux",
+    target_pointer_width = "64",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod imp {
+    pub(crate) type EntryFn = Box<dyn FnOnce() -> *mut usize + 'static>;
+
+    pub(crate) struct Fiber {
+        _private: (),
+    }
+
+    impl Fiber {
+        pub(crate) fn new(_stack_size: usize, _entry: EntryFn) -> Box<Fiber> {
+            unreachable!("fiber backend is not supported on this target")
+        }
+
+        pub(crate) fn sp_slot(&self) -> *mut usize {
+            unreachable!("fiber backend is not supported on this target")
+        }
+
+        pub(crate) fn set_grant(&self, _kind: u8) {
+            unreachable!("fiber backend is not supported on this target")
+        }
+
+        pub(crate) fn grant(&self) -> u8 {
+            unreachable!("fiber backend is not supported on this target")
+        }
+    }
+
+    pub(crate) unsafe fn switch(_save: *mut usize, _resume: *mut usize) {
+        unreachable!("fiber backend is not supported on this target")
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    target_pointer_width = "64",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+pub(crate) use imp::{switch, EntryFn, Fiber};

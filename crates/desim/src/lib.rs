@@ -43,9 +43,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod backend;
 mod channel;
 mod core;
 mod ctx;
+mod fiber;
 pub mod par;
 mod queue;
 mod sim;
@@ -53,10 +55,11 @@ mod sync;
 mod time;
 pub mod trace;
 
+pub use backend::{set_backend_override, Backend};
 pub use channel::{PendingWake, RecvTimeoutError, SendError, SimChannel};
 pub use core::{ProcId, ThreadId};
 pub use ctx::{Ctx, SwitchCharge};
-pub use sim::{ProcReport, SimError, SimReport, Simulation, ThreadHandle};
+pub use sim::{ProcReport, SimError, SimReport, Simulation, SimulationBuilder, ThreadHandle};
 pub use sync::{SimCondvar, SimMutex, SimMutexGuard};
 pub use time::{ms, secs, us, SimDuration, SimTime};
 pub use trace::{CounterSnapshot, Layer, Phase, TraceEvent};

@@ -3,10 +3,12 @@
 use std::fmt;
 use std::sync::Arc;
 
+use crate::backend::Backend;
 use crate::core::{
     install_quiet_shutdown_hook, Core, ProcId, StepResult, ThreadId, ThreadState, WakeStatus,
 };
 use crate::ctx::Ctx;
+use crate::fiber;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{CounterSnapshot, TraceEvent, Tracer};
 
@@ -158,14 +160,89 @@ impl fmt::Debug for Simulation {
     }
 }
 
-impl Simulation {
-    /// Creates a simulation seeded with `seed` for all randomness.
-    pub fn new(seed: u64) -> Self {
+/// Configures and creates a [`Simulation`].
+///
+/// Obtained from [`Simulation::builder`]. Every knob has a default, so
+/// `Simulation::builder().build()` is equivalent to `Simulation::new(0)`.
+///
+/// # Examples
+///
+/// ```
+/// use desim::{Backend, Simulation};
+///
+/// let sim = Simulation::builder()
+///     .seed(42)
+///     .backend(Backend::OsThreads)
+///     .build();
+/// assert_eq!(sim.backend(), Backend::OsThreads);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimulationBuilder {
+    seed: u64,
+    backend: Option<Backend>,
+    fiber_stack_size: usize,
+}
+
+impl SimulationBuilder {
+    /// Seed for all simulation randomness (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Explicit execution backend, outranking the `DESIM_BACKEND`
+    /// environment variable and [`crate::set_backend_override`]. Requesting
+    /// [`Backend::Fibers`] on a target without the vendored context switch
+    /// silently degrades to [`Backend::OsThreads`] (observable behaviour is
+    /// identical).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Usable stack size for fiber-backed simulated threads (default
+    /// 1 MiB). Pages are mapped lazily, so a generous size costs only
+    /// address space; each stack additionally gets one guard page. Ignored
+    /// by the OS-thread backend.
+    pub fn fiber_stack_size(mut self, bytes: usize) -> Self {
+        self.fiber_stack_size = bytes;
+        self
+    }
+
+    /// Builds the simulation.
+    pub fn build(self) -> Simulation {
         install_quiet_shutdown_hook();
+        let backend = match self.backend {
+            Some(b) => b.resolve(),
+            None => Backend::default_backend(),
+        };
         Simulation {
-            core: Core::new(seed),
+            core: Core::new(self.seed, backend, self.fiber_stack_size),
             default_switch_cost: SimDuration::ZERO,
         }
+    }
+}
+
+impl Simulation {
+    /// Creates a simulation seeded with `seed` for all randomness, on the
+    /// default execution backend (see [`Backend::default_backend`]).
+    pub fn new(seed: u64) -> Self {
+        Self::builder().seed(seed).build()
+    }
+
+    /// Returns a builder for configuring seed, execution backend, and
+    /// fiber stack size.
+    pub fn builder() -> SimulationBuilder {
+        SimulationBuilder {
+            seed: 0,
+            backend: None,
+            fiber_stack_size: fiber::DEFAULT_STACK_SIZE,
+        }
+    }
+
+    /// The execution backend this simulation runs its threads on.
+    pub fn backend(&self) -> Backend {
+        self.core.backend()
     }
 
     /// Sets the context-switch cost used for processors added *afterwards*.
@@ -437,7 +514,7 @@ impl Simulation {
     /// (diagnostics). Each still advanced the clock when popped — virtual
     /// time is independent of how cheaply they are recognized.
     pub fn stale_wakes(&self) -> u64 {
-        self.core.state.lock().stale_wakes
+        self.core.state.lock().wake.stale()
     }
 }
 
