@@ -66,6 +66,16 @@ fn main() -> ExitCode {
         report.sweep_speedup(),
         report.deterministic()
     );
+    let sc = &report.shard_scaling;
+    println!(
+        "  shard scaling   {:>8.0} ns/event on 1 runner, {:>8.0} ns/event on {} \
+         ({:.2}x, same events: {})",
+        sc.serial.ns_per_event(),
+        sc.parallel.ns_per_event(),
+        sc.shards,
+        sc.speedup(),
+        sc.deterministic()
+    );
 
     let path = out_path();
     match std::fs::write(&path, report.to_json()) {

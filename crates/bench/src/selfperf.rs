@@ -15,6 +15,12 @@
 //!   timers simultaneously live in the far tier of the event queue — pure
 //!   queue churn, every pop re-pushing into a deep heap.
 //!
+//! - **shards**: four Ethernet segments on four scheduler lanes exchanging
+//!   unicast traffic through a cross-lane switch — every window barrier,
+//!   cross-lane link flush, and injector wake of the conservative windowed
+//!   driver is on the measured path (run with two runner threads, so the
+//!   barrier hand-off cost is visible even on a 1-core host);
+//!
 //! Each workload runs once per available **execution backend**
 //! ([`Backend::Fibers`] where supported, and [`Backend::OsThreads`]
 //! everywhere), since the backend is exactly the thing that decides what a
@@ -32,8 +38,8 @@ use std::time::Instant;
 
 use chaos::{run_chaos, ChaosConfig, Stack};
 use desim::par::par_map;
-use desim::{Backend, SimChannel, SimDuration, Simulation};
-use ethernet::{Dest, MacAddr, McastAddr, NetConfig, Network};
+use desim::{Backend, LaneId, SimChannel, SimDuration, Simulation};
+use ethernet::{Dest, MacAddr, McastAddr, NetConfig, Network, SegmentId};
 
 /// A hot-path measurement more than this factor over its recorded baseline
 /// fails the `SELFPERF_GATE=1` run.
@@ -53,6 +59,8 @@ pub struct BackendBaselines {
     pub fanout: f64,
     /// Deep-queue churn baseline.
     pub queue: f64,
+    /// Sharded multi-segment (windowed driver) baseline.
+    pub shards: f64,
     /// Where the numbers come from.
     pub note: &'static str,
 }
@@ -67,10 +75,14 @@ pub fn baselines_for(backend: Backend) -> BackendBaselines {
             sleepstorm: 64.0,
             fanout: 1800.0,
             queue: 2000.0,
+            shards: 5100.0,
             note: "re-pinned at the 10% gate's introduction to the top of the \
                    reference container's observed envelope (medians ~1000/58/1670/1790 \
                    over 4 full runs); the old 1425.0 fanout pin plus the silent 1571.2 \
-                   recording were both inside that noise band, not a real regression",
+                   recording were both inside that noise band, not a real regression; \
+                   shards pinned when the windowed driver landed (~2970-3900 observed; \
+                   two runner threads time-slice the reference core, so barrier \
+                   hand-offs dominate and the noise band is wide)",
         },
         Backend::Fibers => BackendBaselines {
             backend,
@@ -78,8 +90,12 @@ pub fn baselines_for(backend: Backend) -> BackendBaselines {
             sleepstorm: 75.0,
             fanout: 170.0,
             queue: 110.0,
+            shards: 1900.0,
             note: "first recording, pinned when the fiber backend landed \
-                   (medians ~113/54/140/85 over 4 full runs on the reference container)",
+                   (medians ~113/54/140/85 over 4 full runs on the reference container); \
+                   shards pinned when the windowed driver landed (~1280-1450 observed; \
+                   two runner threads time-slice the reference core, so barrier \
+                   hand-offs dominate and the noise band is wide)",
         },
     }
 }
@@ -216,6 +232,57 @@ pub fn queue_churn(backend: Backend, sleepers: u32, wakes: u64) -> HotPath {
     }
 }
 
+/// Sharded multi-segment traffic: `SEGS` Ethernet segments, each on its own
+/// scheduler lane, joined by a cross-lane switch. Station `i` (home segment
+/// `i`) unicasts `frames` back-to-back frames to station `i+1` (home segment
+/// `i+1`, wrapping), so every frame crosses the switch: capture on the
+/// source segment, a cross-lane link hop, injection and delivery on the
+/// destination segment. Run with `shards` runner threads (`0` = auto) —
+/// the workload itself, and therefore every virtual observable, is
+/// shard-count independent; only the wall clock changes.
+pub fn multiseg(backend: Backend, shards: usize, frames: u64) -> HotPath {
+    const SEGS: u32 = 4;
+    let mut sim = Simulation::builder()
+        .seed(17)
+        .backend(backend)
+        .shards(shards)
+        .build();
+    let mut net = Network::new(NetConfig::default());
+    let lanes: Vec<LaneId> = (0..SEGS)
+        .map(|i| if i == 0 { LaneId::ZERO } else { sim.add_lane() })
+        .collect();
+    let segs: Vec<SegmentId> = (0..SEGS)
+        .map(|i| net.add_segment_on(&mut sim, &format!("s{i}"), lanes[i as usize]))
+        .collect();
+    net.add_switch(&mut sim, &segs, "sw");
+    for i in 0..SEGS {
+        let nic = net.attach(MacAddr(i), segs[i as usize]);
+        let dst = MacAddr((i + 1) % SEGS);
+        let tx_proc = sim.add_processor_on(lanes[i as usize], &format!("tx{i}"));
+        sim.spawn_on_lane(lanes[i as usize], tx_proc, &format!("tx{i}"), {
+            let nic = nic.clone();
+            move |ctx| {
+                let payload = bytes::Bytes::from_static(&[0u8; 64]);
+                for _ in 0..frames {
+                    nic.send(ctx, Dest::Unicast(dst), payload.clone());
+                }
+            }
+        });
+        let rx_proc = sim.add_processor_on(lanes[i as usize], &format!("rx{i}"));
+        sim.spawn_on_lane(lanes[i as usize], rx_proc, &format!("rx{i}"), move |ctx| {
+            for _ in 0..frames {
+                nic.rx().recv(ctx);
+            }
+        });
+    }
+    let t0 = Instant::now();
+    sim.run().expect("multiseg completes");
+    HotPath {
+        events: sim.report().events,
+        wall_ns: t0.elapsed().as_nanos() as u64,
+    }
+}
+
 /// Runs `measure` `reps` times and returns the run with the median wall
 /// time (robust against one-off scheduling noise).
 pub fn median_of<F: FnMut() -> HotPath>(reps: usize, mut measure: F) -> HotPath {
@@ -237,18 +304,21 @@ pub struct BackendHotPaths {
     pub fanout: HotPath,
     /// Deep-queue timer-churn hot path.
     pub queue: HotPath,
+    /// Sharded multi-segment (windowed driver) hot path.
+    pub shards: HotPath,
 }
 
 impl BackendHotPaths {
-    /// The four measurements with their names and recorded baselines, for
+    /// The five measurements with their names and recorded baselines, for
     /// print and gate loops.
-    pub fn named(&self) -> [(&'static str, HotPath, f64); 4] {
+    pub fn named(&self) -> [(&'static str, HotPath, f64); 5] {
         let b = baselines_for(self.backend);
         [
             ("pingpong", self.pingpong, b.pingpong),
             ("sleepstorm", self.sleepstorm, b.sleepstorm),
             ("fanout", self.fanout, b.fanout),
             ("queue", self.queue, b.queue),
+            ("shards", self.shards, b.shards),
         ]
     }
 }
@@ -307,6 +377,33 @@ pub fn chaos_sweep_perf(seeds: u64, jobs: usize) -> SweepPerf {
     }
 }
 
+/// Intra-run shard scaling: the multiseg workload on one runner thread vs
+/// all available runner threads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardScaling {
+    /// The multiseg workload driven by a single runner thread.
+    pub serial: HotPath,
+    /// The same workload driven by `shards` runner threads.
+    pub parallel: HotPath,
+    /// Runner threads the parallel run used.
+    pub shards: usize,
+}
+
+impl ShardScaling {
+    /// Parallel-over-serial wall-clock speedup (≈1.0 on a 1-core host,
+    /// where the runner threads time-slice one core).
+    pub fn speedup(&self) -> f64 {
+        self.serial.wall_ns as f64 / self.parallel.wall_ns.max(1) as f64
+    }
+
+    /// Whether both runs processed the same event count — the cheap in-band
+    /// check that shard count did not change the simulation (the byte-exact
+    /// version lives in the shard-equivalence test gate).
+    pub fn deterministic(&self) -> bool {
+        self.serial.events == self.parallel.events
+    }
+}
+
 /// The full self-measurement, as written to `BENCH_selfperf.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelfPerfReport {
@@ -321,6 +418,8 @@ pub struct SelfPerfReport {
     pub serial: SweepPerf,
     /// The sweep on many workers.
     pub parallel: SweepPerf,
+    /// Intra-run windowed-driver scaling on the process-default backend.
+    pub shard_scaling: ShardScaling,
 }
 
 impl SelfPerfReport {
@@ -329,9 +428,11 @@ impl SelfPerfReport {
         self.serial.wall_ns as f64 / self.parallel.wall_ns.max(1) as f64
     }
 
-    /// Whether the serial and parallel sweeps produced bit-identical runs.
+    /// Whether the serial and parallel sweeps produced bit-identical runs
+    /// and shard scaling preserved the event count.
     pub fn deterministic(&self) -> bool {
         self.serial.aggregate_hash == self.parallel.aggregate_hash
+            && self.shard_scaling.deterministic()
     }
 
     /// Renders the report as JSON (hand-rolled; the workspace has no JSON
@@ -350,19 +451,21 @@ impl SelfPerfReport {
         fn backend_block(b: &BackendHotPaths) -> String {
             format!(
                 "\"{}\": {{\n      \"pingpong\": {},\n      \"sleepstorm\": {},\n      \
-                 \"fanout\": {},\n      \"queue\": {}\n    }}",
+                 \"fanout\": {},\n      \"queue\": {},\n      \"shards\": {}\n    }}",
                 b.backend,
                 hot(&b.pingpong),
                 hot(&b.sleepstorm),
                 hot(&b.fanout),
-                hot(&b.queue)
+                hot(&b.queue),
+                hot(&b.shards)
             )
         }
         fn baseline_block(b: &BackendBaselines) -> String {
             format!(
                 "\"{}\": {{\"pingpong\": {:.1}, \"sleepstorm\": {:.1}, \
-                 \"fanout\": {:.1}, \"queue\": {:.1},\n      \"note\": \"{}\"}}",
-                b.backend, b.pingpong, b.sleepstorm, b.fanout, b.queue, b.note
+                 \"fanout\": {:.1}, \"queue\": {:.1}, \"shards\": {:.1},\n      \
+                 \"note\": \"{}\"}}",
+                b.backend, b.pingpong, b.sleepstorm, b.fanout, b.queue, b.shards, b.note
             )
         }
         fn sweep(s: &SweepPerf) -> String {
@@ -383,11 +486,13 @@ impl SelfPerfReport {
             .map(|b| baseline_block(&baselines_for(b.backend)))
             .collect();
         format!(
-            "{{\n  \"schema\": \"selfperf-v3\",\n  \"generated_by\": \
+            "{{\n  \"schema\": \"selfperf-v4\",\n  \"generated_by\": \
              \"cargo bench -p bench --bench selfperf\",\n  \"quick\": {},\n  \
              \"host_cores\": {},\n  \"gate_regression_factor\": {:.2},\n  \
              \"hot_path\": {{\n    {}\n  }},\n  \"baseline_ns_per_event\": {{\n    \
-             {}\n  }},\n  \"sweep\": {{\n    \"serial\": {},\n    \
+             {}\n  }},\n  \"shard_scaling\": {{\n    \"serial\": {},\n    \
+             \"parallel\": {},\n    \"shards\": {},\n    \"speedup\": {:.2},\n    \
+             \"deterministic\": {}\n  }},\n  \"sweep\": {{\n    \"serial\": {},\n    \
              \"parallel\": {},\n    \"speedup\": {:.2},\n    \
              \"deterministic\": {}\n  }}\n}}\n",
             self.quick,
@@ -395,6 +500,11 @@ impl SelfPerfReport {
             GATE_REGRESSION_FACTOR,
             hot_blocks.join(",\n    "),
             baseline_blocks.join(",\n    "),
+            hot(&self.shard_scaling.serial),
+            hot(&self.shard_scaling.parallel),
+            self.shard_scaling.shards,
+            self.shard_scaling.speedup(),
+            self.shard_scaling.deterministic(),
             sweep(&self.serial),
             sweep(&self.parallel),
             self.sweep_speedup(),
@@ -417,10 +527,10 @@ pub fn measured_backends() -> Vec<Backend> {
 pub fn measure_backend(backend: Backend, quick: bool) -> BackendHotPaths {
     // Median-of-3 even on the quick CI workload: the 10% gate cannot
     // tolerate single-run cold-start outliers.
-    let (rounds, wakes, frames, churn, reps) = if quick {
-        (10_000, 20_000, 200, 500, 3)
+    let (rounds, wakes, frames, churn, xframes, reps) = if quick {
+        (10_000, 20_000, 200, 500, 100, 3)
     } else {
-        (100_000, 200_000, 2_000, 5_000, 3)
+        (100_000, 200_000, 2_000, 5_000, 1_000, 3)
     };
     BackendHotPaths {
         backend,
@@ -428,6 +538,26 @@ pub fn measure_backend(backend: Backend, quick: bool) -> BackendHotPaths {
         sleepstorm: median_of(reps, || sleepstorm(backend, wakes)),
         fanout: median_of(reps, || fanout(backend, 32, frames)),
         queue: median_of(reps, || queue_churn(backend, 64, churn)),
+        // Two runner threads even on a 1-core host, so the windowed
+        // driver's barrier hand-off is always on the measured path.
+        shards: median_of(reps, || multiseg(backend, 2, xframes)),
+    }
+}
+
+/// Measures intra-run shard scaling of the multiseg workload on the
+/// process-default backend: one runner thread vs auto (all host cores).
+pub fn measure_shard_scaling(quick: bool) -> ShardScaling {
+    let frames = if quick { 100 } else { 1_000 };
+    let backend = Backend::default_backend();
+    let mut probe = Simulation::builder().shards(0).build();
+    probe.add_lane();
+    probe.add_lane();
+    probe.add_lane();
+    let shards = probe.shards();
+    ShardScaling {
+        serial: median_of(3, || multiseg(backend, 1, frames)),
+        parallel: median_of(3, || multiseg(backend, 0, frames)),
+        shards,
     }
 }
 
@@ -443,6 +573,7 @@ pub fn run(quick: bool) -> SelfPerfReport {
             .collect(),
         serial: chaos_sweep_perf(seeds, 1),
         parallel: chaos_sweep_perf(seeds, 0),
+        shard_scaling: measure_shard_scaling(quick),
     }
 }
 
@@ -514,6 +645,16 @@ mod tests {
     }
 
     #[test]
+    fn multiseg_is_shard_count_independent() {
+        let reference = multiseg(Backend::OsThreads, 1, 15);
+        assert!(reference.events > 0);
+        for shards in [2, 4, 0] {
+            let got = multiseg(Backend::OsThreads, shards, 15);
+            assert_eq!(reference.events, got.events, "shards={shards}");
+        }
+    }
+
+    #[test]
     fn json_report_is_well_formed_enough() {
         let hot = |k: u64| HotPath {
             events: 10 * k,
@@ -529,6 +670,7 @@ mod tests {
                     sleepstorm: hot(2),
                     fanout: hot(3),
                     queue: hot(4),
+                    shards: hot(9),
                 },
                 BackendHotPaths {
                     backend: Backend::OsThreads,
@@ -536,6 +678,7 @@ mod tests {
                     sleepstorm: hot(6),
                     fanout: hot(7),
                     queue: hot(8),
+                    shards: hot(10),
                 },
             ],
             serial: SweepPerf {
@@ -550,13 +693,22 @@ mod tests {
                 wall_ns: 2500,
                 aggregate_hash: 0xabc,
             },
+            shard_scaling: ShardScaling {
+                serial: hot(12),
+                parallel: HotPath {
+                    events: 120,
+                    wall_ns: 6000,
+                },
+                shards: 4,
+            },
         };
         let json = report.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert!(json.contains("\"schema\": \"selfperf-v3\""));
+        assert!(json.contains("\"schema\": \"selfperf-v4\""));
         assert!(json.contains("\"fibers\""));
         assert!(json.contains("\"os-threads\""));
         assert!(json.contains("\"gate_regression_factor\": 1.10"));
+        assert!(json.contains("\"shard_scaling\""));
         assert!(json.contains("\"speedup\": 2.00"));
         assert!(json.contains("\"deterministic\": true"));
     }

@@ -9,7 +9,7 @@
 //!
 //! ```text
 //! chaos-explore [--seeds N] [--seed-start N] [--seed N] [--jobs N]
-//!               [--stack kernel|user|user-dedicated|both]
+//!               [--stack kernel|user|user-dedicated|both] [--shards N|auto]
 //!               [--rpcs N] [--broadcasts N] [--max-virtual-ms N]
 //!               [--verify-every N] [--no-minimize] [--verbose]
 //! ```
@@ -17,6 +17,12 @@
 //! `--jobs N` runs the sweep on N worker threads (`0` = one per core);
 //! results are reduced in seed order, so output, exit code, and every trace
 //! hash are identical for any job count.
+//!
+//! `--shards N` sets the windowed-driver runner-thread count every
+//! simulation in the sweep uses (`auto` or `0` = one per core). Chaos
+//! topologies are single-lane today, so any shard count executes the same
+//! schedule — the flag exists to prove exactly that: trace hashes are
+//! shard-count independent.
 
 use std::process::ExitCode;
 
@@ -27,7 +33,7 @@ use desim::SimDuration;
 fn usage() -> ! {
     eprintln!(
         "usage: chaos-explore [--seeds N] [--seed-start N] [--seed N] [--jobs N]\n\
-         \u{20}                    [--stack kernel|user|user-dedicated|both]\n\
+         \u{20}                    [--stack kernel|user|user-dedicated|both] [--shards N|auto]\n\
          \u{20}                    [--rpcs N] [--broadcasts N] [--max-virtual-ms N]\n\
          \u{20}                    [--verify-every N] [--no-minimize] [--verbose]"
     );
@@ -65,6 +71,14 @@ fn main() -> ExitCode {
                 opts.max_virtual = SimDuration::from_millis(parse_u64(args.next()))
             }
             "--jobs" => opts.jobs = parse_u64(args.next()) as usize,
+            "--shards" => match args.next().as_deref() {
+                Some("auto") => desim::set_shards_override(Some(0)),
+                Some(s) => match s.parse::<usize>() {
+                    Ok(n) => desim::set_shards_override(Some(n)),
+                    Err(_) => usage(),
+                },
+                None => usage(),
+            },
             "--verify-every" => opts.verify_every = parse_u64(args.next()),
             "--no-minimize" => opts.minimize = false,
             "--verbose" => opts.verbose = true,

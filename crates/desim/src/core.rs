@@ -394,6 +394,10 @@ pub(crate) enum NextEvent {
     /// including between dead-wake skips, exactly as the old per-iteration
     /// check did).
     LimitHit,
+    /// The queue head sits at or past the current window limit (windowed
+    /// parallel execution only; see `crate::shard`). The event stays
+    /// queued — it belongs to a later window.
+    WindowEdge,
 }
 
 pub(crate) struct CoreState {
@@ -410,6 +414,13 @@ pub(crate) struct CoreState {
     /// hand-off fast path, so it lives with the rest of the shared state.
     pub max_events: Option<u64>,
     pub shutdown: bool,
+    /// Exclusive upper bound on the instants this lane may process in the
+    /// current window (`None` outside windowed execution — the classic
+    /// serial mode, where the check costs one `is_some` per pop). Events at
+    /// or past the bound stay queued; `next_live` reports
+    /// [`NextEvent::WindowEdge`] instead of popping them. Set by the
+    /// windowed driver before each window (`crate::shard`).
+    pub window_limit: Option<SimTime>,
     pub rng: SmallRng,
     /// When `Some`, draws one tie-break value per scheduled wake, shuffling
     /// the pick order among same-instant ready threads (chaos testing). Kept
@@ -507,6 +518,12 @@ impl CoreState {
                     return NextEvent::LimitHit;
                 }
             }
+            if let Some(limit) = self.window_limit {
+                match self.queue.peek_time() {
+                    Some(t) if t >= limit => return NextEvent::WindowEdge,
+                    _ => {}
+                }
+            }
             let Some(ev) = self.queue.pop() else {
                 return NextEvent::Drained;
             };
@@ -526,6 +543,22 @@ impl CoreState {
 
     pub(crate) fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+
+    /// The earliest queued instant on this lane (see `EventQueue::peek_time`).
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Configures the current window: the exclusive processing bound and,
+    /// when bounded, the committed floor below which nothing may be
+    /// scheduled any more (`queue.rs` debug-asserts it). The floor passed
+    /// here is the *global* committed horizon `T_min`; a lane whose own
+    /// clock lags it keeps its weaker local bound instead, because lagging
+    /// lanes legitimately schedule at their own `now`.
+    pub(crate) fn set_window(&mut self, limit: Option<SimTime>, floor: SimTime) {
+        self.window_limit = limit;
+        self.queue.set_floor(floor.min(self.now));
     }
 }
 
@@ -574,6 +607,8 @@ pub(crate) enum StepResult {
     TargetFinished,
     /// `events_processed` reached the configured limit.
     LimitExceeded,
+    /// The next event belongs to a later window (windowed execution only).
+    WindowEdge,
 }
 
 impl Core {
@@ -589,6 +624,7 @@ impl Core {
                 events_processed: 0,
                 max_events: None,
                 shutdown: false,
+                window_limit: None,
                 rng: SmallRng::seed_from_u64(seed),
                 perturb: None,
                 trace: None,
@@ -841,6 +877,7 @@ impl Core {
             match st.next_live() {
                 NextEvent::Drained => return StepResult::Drained,
                 NextEvent::LimitHit => return StepResult::LimitExceeded,
+                NextEvent::WindowEdge => return StepResult::WindowEdge,
                 NextEvent::Live(tid) => st.threads[tid.0].exec.target(),
             }
         };
@@ -978,7 +1015,10 @@ pub(crate) fn yield_blocked(core: &Core, tid: ThreadId, exec: &ExecRef) -> WakeS
             return WakeStatus::Shutdown;
         }
         match st.next_live() {
-            NextEvent::Drained | NextEvent::LimitHit => Next::Sched,
+            // A window edge breaks the hand-off chain exactly like a drain:
+            // the next event belongs to a later window and only the driver
+            // may open it.
+            NextEvent::Drained | NextEvent::LimitHit | NextEvent::WindowEdge => Next::Sched,
             NextEvent::Live(t) if t == tid => Next::SelfWake,
             NextEvent::Live(t) => Next::Grant(st.threads[t.0].exec.target()),
         }

@@ -50,6 +50,7 @@ mod ctx;
 mod fiber;
 pub mod par;
 mod queue;
+mod shard;
 mod sim;
 mod sync;
 mod time;
@@ -59,6 +60,7 @@ pub use backend::{set_backend_override, Backend};
 pub use channel::{PendingWake, RecvTimeoutError, SendError, SimChannel};
 pub use core::{ProcId, ThreadId};
 pub use ctx::{Ctx, SwitchCharge};
+pub use shard::{set_shards_override, LaneId, XSender};
 pub use sim::{ProcReport, SimError, SimReport, Simulation, SimulationBuilder, ThreadHandle};
 pub use sync::{SimCondvar, SimMutex, SimMutexGuard};
 pub use time::{ms, secs, us, SimDuration, SimTime};

@@ -25,6 +25,30 @@
 //! tier heads by the full key. That comparison is what preserves the exact
 //! `(time, tie, seq)` total order of the old single-heap implementation —
 //! bit-identical pop order, golden traces, and chaos hashes.
+//!
+//! # The `(time, tie, seq)` total order is a public invariant
+//!
+//! Events pop in strictly ascending `(time, tie, seq)` order, where `time`
+//! is the virtual instant, `tie` is the (usually zero) schedule-perturbation
+//! draw, and `seq` is the per-queue monotone insertion counter. Every
+//! observable artifact of the simulator — golden trace renders, Table 1
+//! latencies, chaos hashes, the selfperf sweep aggregate — is downstream of
+//! this order, and the windowed parallel scheduler (`crate::shard`) relies
+//! on it for bit-identity: a lane's pop order within a window depends only
+//! on the lane's own queue contents, never on how many shards advance
+//! concurrently. Code outside this module must not assume anything weaker
+//! (e.g. "same time ⇒ FIFO" breaks under perturbation) or stronger.
+//!
+//! # The committed window floor
+//!
+//! Under windowed execution the driver commits a *floor* before each
+//! window: every instant strictly below it is finished history on every
+//! lane. Cross-shard injection must never schedule below it — conservative
+//! lookahead guarantees a cross-lane frame's delivery time lands at or past
+//! the window end. [`EventQueue::set_floor`] records the committed floor
+//! and `push` carries a debug assertion against it (in addition to the
+//! near-tier assertion, which is the stricter per-lane check once the
+//! clock has advanced).
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
@@ -89,6 +113,9 @@ pub(crate) struct EventQueue {
     /// Far tier: events strictly later than `bucket_time`, plus possibly
     /// some *at* `bucket_time` that were pushed before the clock got here.
     far: BinaryHeap<Event>,
+    /// Committed window floor (see the module docs). `SimTime::ZERO` — i.e.
+    /// no constraint — outside windowed execution.
+    floor: SimTime,
 }
 
 impl EventQueue {
@@ -97,6 +124,7 @@ impl EventQueue {
             bucket_time: SimTime::ZERO,
             bucket: VecDeque::with_capacity(cap.min(64)),
             far: BinaryHeap::with_capacity(cap),
+            floor: SimTime::ZERO,
         }
     }
 
@@ -104,7 +132,30 @@ impl EventQueue {
         self.bucket.len() + self.far.len()
     }
 
+    /// The earliest queued event's time, without popping. Dead-generation
+    /// events count — they still advance the clock when popped, so the
+    /// windowed driver must treat them as work below the window edge.
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
+        match (self.bucket.front(), self.far.peek()) {
+            (None, None) => None,
+            (Some(b), None) => Some(b.time),
+            (None, Some(f)) => Some(f.time),
+            // Bucket events sit at `bucket_time`; a far head at the same
+            // time doesn't change the minimum.
+            (Some(b), Some(f)) => Some(b.time.min(f.time)),
+        }
+    }
+
+    /// Records the committed window floor (debug-asserted by `push`).
+    pub(crate) fn set_floor(&mut self, floor: SimTime) {
+        self.floor = floor;
+    }
+
     pub(crate) fn push(&mut self, ev: Event) {
+        debug_assert!(
+            ev.time >= self.floor,
+            "cannot schedule below the committed window floor"
+        );
         debug_assert!(
             ev.time >= self.bucket_time,
             "cannot schedule behind the near tier"

@@ -1,0 +1,376 @@
+//! Conservative windowed parallel execution: lanes, shard-count selection,
+//! and cross-lane links.
+//!
+//! A [`crate::Simulation`] normally runs one scheduler. With
+//! [`crate::Simulation::add_lane`] it becomes a *federation* of schedulers
+//! — each lane owns its own event queue, virtual clock, sequence counter,
+//! RNG, perturbation stream, and trace buffers, so a lane's execution is a
+//! complete, self-contained deterministic simulation. Lanes may only
+//! interact through [`XSender`] links, which carry a fixed positive delay.
+//! The minimum delay over all links is the **lookahead**: a value sent at
+//! or after instant `T` cannot take effect on another lane before
+//! `T + lookahead`.
+//!
+//! The driver exploits that bound with the classic conservative-window
+//! scheme. Each round it computes `T_min`, the earliest queued instant
+//! across all lanes, opens the window `[T_min, T_min + lookahead)`, lets
+//! every lane advance independently (and in parallel, up to the configured
+//! shard count) until its next event would land at or past the window end,
+//! and then — with all lanes stopped — flushes every link's outbox into its
+//! destination lane. Because a message sent during the window was sent at
+//! some `t ≥ T_min`, it is delivered at `t + delay ≥ T_min + lookahead`,
+//! i.e. at or past the window end: no lane can ever receive a message for
+//! an instant it has already executed, and no lane's intra-window schedule
+//! can depend on what other lanes did concurrently.
+//!
+//! **Bit-identity follows by construction.** The window boundaries depend
+//! only on queue contents and the lookahead; the barrier-time flush order
+//! is the fixed link registration order; and each lane's pop order within
+//! a window is its own `(time, tie, seq)` order (see `queue.rs`). None of
+//! that mentions how many OS threads advance lanes concurrently, so
+//! `shards=1` and `shards=N` produce byte-identical traces, reports, and
+//! hashes — the property `tests/shard_equivalence.rs` pins.
+//!
+//! # Shard-count selection
+//!
+//! The shard count is the *maximum number of runner OS threads*; the
+//! effective parallelism is `min(shards, lanes)`, so single-lane
+//! simulations are untouched by any setting. Priority, highest first:
+//!
+//! 1. [`crate::SimulationBuilder::shards`] — explicit per-simulation choice.
+//! 2. [`set_shards_override`] — a process-global override, for tests and
+//!    harnesses that construct simulations indirectly.
+//! 3. The `DESIM_SHARDS` environment variable (a number, or `auto`/`0` for
+//!    one runner per host core), read afresh at each construction.
+//! 4. `auto`.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::channel::SimChannel;
+use crate::core::{shutdown_unwind_unless_panicking, Core, ThreadId, WakeStatus};
+use crate::time::{SimDuration, SimTime};
+use crate::Ctx;
+
+/// Identifies one scheduler lane of a [`crate::Simulation`]. Lane 0 always
+/// exists; further lanes come from [`crate::Simulation::add_lane`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LaneId(pub(crate) u32);
+
+impl LaneId {
+    /// The default lane every single-lane simulation runs on.
+    pub const ZERO: LaneId = LaneId(0);
+
+    /// The lane's index (lane 0 is the default lane).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LaneId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lane{}", self.0)
+    }
+}
+
+/// Derives the RNG seed for lane `lane` from the simulation seed. Lane 0
+/// keeps the seed unchanged, so every single-lane simulation is
+/// byte-identical to what it was before lanes existed; further lanes get
+/// independent streams via a splitmix64 scramble.
+pub(crate) fn lane_seed(seed: u64, lane: u64) -> u64 {
+    if lane == 0 {
+        return seed;
+    }
+    let mut z = seed ^ lane.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Requested shard count, before clamping to the lane count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ShardCount {
+    /// One runner per host core.
+    Auto,
+    /// Exactly this many runners (at least 1).
+    Fixed(usize),
+}
+
+impl ShardCount {
+    /// The runner count this setting stands for on this host.
+    pub(crate) fn resolve(self) -> usize {
+        match self {
+            ShardCount::Fixed(n) => n.max(1),
+            ShardCount::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+const NO_OVERRIDE: usize = usize::MAX;
+
+// usize::MAX = no override, 0 = auto, n = fixed.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(NO_OVERRIDE);
+
+/// Sets (or clears, with `None`) a process-global shard-count override that
+/// outranks `DESIM_SHARDS` but not an explicit
+/// [`crate::SimulationBuilder::shards`] call. `Some(0)` means `auto` (one
+/// runner per host core). Intended for tests and CLIs that drive code
+/// which constructs `Simulation`s internally; tests sharing a process must
+/// serialize around it. The shard count never affects observable results —
+/// only wall-clock time — so a stray override can slow a run down but not
+/// change it.
+pub fn set_shards_override(shards: Option<usize>) {
+    OVERRIDE.store(shards.unwrap_or(NO_OVERRIDE), Ordering::SeqCst);
+}
+
+/// The shard count a simulation gets without an explicit builder call: the
+/// process override if set, else `DESIM_SHARDS`, else `auto`. Panics on an
+/// unparseable `DESIM_SHARDS` so typos fail loudly.
+pub(crate) fn default_shards() -> ShardCount {
+    match OVERRIDE.load(Ordering::SeqCst) {
+        NO_OVERRIDE => {}
+        0 => return ShardCount::Auto,
+        n => return ShardCount::Fixed(n),
+    }
+    if let Ok(v) = std::env::var("DESIM_SHARDS") {
+        let t = v.trim();
+        if t.eq_ignore_ascii_case("auto") {
+            return ShardCount::Auto;
+        }
+        return match t.parse::<usize>() {
+            Ok(0) => ShardCount::Auto,
+            Ok(n) => ShardCount::Fixed(n),
+            Err(_) => panic!("DESIM_SHARDS={v:?} is not a shard count (use a number or \"auto\")"),
+        };
+    }
+    ShardCount::Auto
+}
+
+/// Barrier-side face of a cross-lane link, held by the `Simulation` driver.
+/// Only called between windows, when no lane is running.
+pub(crate) trait XPort: Send + Sync {
+    /// The link's fixed delay; the global lookahead is the minimum over all
+    /// registered links.
+    fn min_delay(&self) -> SimDuration;
+
+    /// Moves everything sent during the last window into the destination
+    /// lane's pending list and (re-)arms the injector daemon's wake for the
+    /// earliest pending delivery. `floor` is the committed global horizon:
+    /// conservative lookahead guarantees every delivery lands at or past
+    /// it, which is debug-asserted here (the cross-shard-injection
+    /// assertion of `queue.rs`'s module docs).
+    fn flush(&self, floor: SimTime);
+}
+
+/// Shared state of one [`XSender`] link.
+///
+/// Values travel in three hops, none of which lets a receiver observe a
+/// value early:
+///
+/// 1. `send` (source lane, during a window) appends `(now + delay, value)`
+///    to the `outbox` — invisible to the destination.
+/// 2. `flush` (driver, at the window barrier) merges the outbox into
+///    `pending`, sorted by delivery time, and schedules a wake for the
+///    injector daemon at the earliest pending instant.
+/// 3. The injector daemon (destination lane) wakes at exactly the delivery
+///    instant and performs ordinary `SimChannel::send`s, so the receiving
+///    side sees a plain in-lane message with the correct timestamp, pick
+///    order, and trace emission.
+struct XShared<T> {
+    delay: SimDuration,
+    /// `(delivery instant, value)` pairs sent during the current window, in
+    /// send order (per-lane virtual time is monotone, so also time order).
+    outbox: Mutex<Vec<(SimTime, T)>>,
+    /// Flushed, undelivered values sorted by delivery instant (stable, so
+    /// same-instant values keep flush order).
+    pending: Mutex<PendingBox<T>>,
+    /// The injector daemon's current block registration: `(thread, wait
+    /// token)`, overwritten each time the daemon blocks. `flush` schedules
+    /// wakes against it; superseded wakes go stale harmlessly (the wake
+    /// table cancels them like any other dead generation).
+    waiting: Mutex<Option<(ThreadId, u64)>>,
+    dst_core: Arc<Core>,
+    dst: SimChannel<T>,
+    /// `Arc::as_ptr` of the source lane's core, for the debug-only
+    /// wrong-lane check in `send`.
+    src_core_addr: usize,
+}
+
+struct PendingBox<T> {
+    q: VecDeque<(SimTime, T)>,
+    /// Earliest instant a wake is already queued for under the daemon's
+    /// current registration (`None` = none). Lets `flush` skip scheduling
+    /// duplicate wakes when nothing earlier arrived.
+    armed_at: Option<SimTime>,
+}
+
+impl<T: Send + 'static> XShared<T> {
+    /// Body of the injector daemon, spawned on the destination lane by
+    /// [`crate::Simulation::cross_link`].
+    fn injector_loop(self: &Arc<Self>, ctx: &Ctx) {
+        loop {
+            // Deliver everything due at the current instant, then note when
+            // the next pending value falls due. Also record that instant as
+            // armed: the self-timer below is scheduled before anything else
+            // can run on this lane, and flush only looks between windows.
+            let now = ctx.now();
+            let (due, next_at) = {
+                let mut p = self.pending.lock();
+                let mut due = Vec::new();
+                while p.q.front().is_some_and(|e| e.0 <= now) {
+                    due.push(p.q.pop_front().expect("peeked").1);
+                }
+                let next_at = p.q.front().map(|e| e.0);
+                p.armed_at = next_at;
+                (due, next_at)
+            };
+            for v in due {
+                let _ = self.dst.send(ctx, v);
+            }
+            {
+                let mut st = ctx.core().state.lock();
+                let wid = st.prepare_block(ctx.thread_id(), "xlink");
+                if let Some(at) = next_at {
+                    st.schedule_wake(at, ctx.thread_id(), wid);
+                }
+                drop(st);
+                *self.waiting.lock() = Some((ctx.thread_id(), wid));
+            }
+            if ctx.yield_blocked() == WakeStatus::Shutdown {
+                shutdown_unwind_unless_panicking();
+                return;
+            }
+        }
+    }
+}
+
+impl<T: Send> XPort for XShared<T> {
+    fn min_delay(&self) -> SimDuration {
+        self.delay
+    }
+
+    fn flush(&self, floor: SimTime) {
+        let out: Vec<(SimTime, T)> = std::mem::take(&mut *self.outbox.lock());
+        let mut p = self.pending.lock();
+        for (at, v) in out {
+            debug_assert!(
+                at >= floor,
+                "cross-shard injection below the committed window floor"
+            );
+            // Stable insert: later flushes of equal instants go after.
+            let pos = p.q.partition_point(|e| e.0 <= at);
+            p.q.insert(pos, (at, v));
+        }
+        let Some(front) = p.q.front().map(|e| e.0) else {
+            return;
+        };
+        let need = match p.armed_at {
+            None => true,
+            Some(a) => front < a,
+        };
+        if need {
+            if let Some((t, w)) = *self.waiting.lock() {
+                self.dst_core.state.lock().schedule_wake(front, t, w);
+                p.armed_at = Some(front);
+            }
+            // No registration yet means the daemon's start wake is still
+            // queued; its first run arms the timer itself.
+        }
+    }
+}
+
+/// Sending end of a cross-lane link created by
+/// [`crate::Simulation::cross_link`]. Clonable; every clone must be used
+/// from the link's *source* lane only (debug-asserted).
+///
+/// This is the **only** legal way for simulated code on one lane to affect
+/// another lane. Sharing a [`SimChannel`], [`crate::SimMutex`], or
+/// [`crate::ThreadHandle::join`] across lanes is a bug (and debug-asserted
+/// where cheap): those primitives schedule wakes directly into a core and
+/// would bypass the lookahead bound that makes parallel windows safe.
+pub struct XSender<T> {
+    shared: Arc<XShared<T>>,
+}
+
+impl<T> Clone for XSender<T> {
+    fn clone(&self) -> Self {
+        XSender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> fmt::Debug for XSender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("XSender")
+            .field("delay", &self.shared.delay)
+            .finish()
+    }
+}
+
+impl<T: Send + 'static> XSender<T> {
+    /// Sends `value` to the destination lane's channel, arriving exactly
+    /// `delay` after the current instant. Never blocks; the value becomes
+    /// visible to the destination at the next window boundary (which the
+    /// lookahead guarantees is before the delivery instant).
+    pub fn send(&self, ctx: &Ctx, value: T) {
+        debug_assert_eq!(
+            Arc::as_ptr(ctx.core()) as usize,
+            self.shared.src_core_addr,
+            "XSender used from a lane other than its source lane"
+        );
+        let at = ctx.now() + self.shared.delay;
+        self.shared.outbox.lock().push((at, value));
+    }
+
+    /// The link's fixed delivery delay.
+    pub fn delay(&self) -> SimDuration {
+        self.shared.delay
+    }
+}
+
+/// Builds a link's shared state and returns `(sender, port, injector)`
+/// for [`crate::Simulation::cross_link`] to wire up: the port goes into
+/// the driver's flush list and the injector closure is spawned as a daemon
+/// on the destination lane.
+#[allow(clippy::type_complexity)]
+pub(crate) fn new_link<T: Send + 'static>(
+    delay: SimDuration,
+    src_core: &Arc<Core>,
+    dst_core: &Arc<Core>,
+    dst: SimChannel<T>,
+) -> (
+    XSender<T>,
+    Arc<dyn XPort>,
+    impl FnOnce(&Ctx) + Send + 'static,
+) {
+    assert!(
+        !delay.is_zero(),
+        "cross-lane links need a positive delay: it is the lookahead that \
+         makes parallel windows safe"
+    );
+    let shared = Arc::new(XShared {
+        delay,
+        outbox: Mutex::new(Vec::new()),
+        pending: Mutex::new(PendingBox {
+            q: VecDeque::new(),
+            armed_at: None,
+        }),
+        waiting: Mutex::new(None),
+        dst_core: Arc::clone(dst_core),
+        dst,
+        src_core_addr: Arc::as_ptr(src_core) as usize,
+    });
+    let sender = XSender {
+        shared: Arc::clone(&shared),
+    };
+    let port: Arc<dyn XPort> = Arc::clone(&shared) as Arc<dyn XPort>;
+    let injector = move |ctx: &Ctx| shared.injector_loop(ctx);
+    (sender, port, injector)
+}

@@ -1,14 +1,20 @@
-//! The simulation driver: owns the virtual clock and runs the event loop.
+//! The simulation driver: owns the virtual clock and runs the event loop —
+//! the classic serial loop for single-lane simulations, or the conservative
+//! windowed parallel loop (see [`crate::shard`]) once lanes exist.
 
 use std::fmt;
 use std::sync::Arc;
 
+use parking_lot::Mutex;
+
 use crate::backend::Backend;
+use crate::channel::SimChannel;
 use crate::core::{
     install_quiet_shutdown_hook, Core, ProcId, StepResult, ThreadId, ThreadState, WakeStatus,
 };
 use crate::ctx::Ctx;
 use crate::fiber;
+use crate::shard::{self, LaneId, ShardCount, XPort, XSender};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{CounterSnapshot, TraceEvent, Tracer};
 
@@ -108,7 +114,16 @@ impl ThreadHandle {
     }
 
     /// Blocks the calling simulated thread until this thread finishes.
+    ///
+    /// Caller and target must live on the same lane: a cross-lane join
+    /// would schedule a wake into another lane's queue, bypassing the
+    /// lookahead bound that makes parallel windows safe. Route cross-lane
+    /// completion through a [`crate::XSender`] link instead.
     pub fn join(&self, ctx: &Ctx) {
+        debug_assert!(
+            Arc::ptr_eq(&self.core, ctx.core()),
+            "cross-lane join: use a cross-lane link instead"
+        );
         loop {
             {
                 let mut st = self.core.state.lock();
@@ -145,8 +160,22 @@ impl ThreadHandle {
 /// assert_eq!(report.final_time.as_micros_f64(), 100.0);
 /// ```
 pub struct Simulation {
+    /// Lane 0: the default lane every pre-lane API targets.
     core: Arc<Core>,
+    /// Lanes 1.. (see [`Simulation::add_lane`]).
+    extra: Vec<Arc<Core>>,
+    /// Cross-lane links in registration order — which is the barrier-time
+    /// flush order, part of the deterministic merge.
+    xports: Vec<Arc<dyn XPort>>,
+    shards: ShardCount,
+    seed: u64,
+    fiber_stack_size: usize,
     default_switch_cost: SimDuration,
+    // Configuration mirrored onto lanes created after the setter ran:
+    max_events: Option<u64>,
+    perturb_seed: Option<u64>,
+    tracing_cap: Option<usize>,
+    string_trace: bool,
 }
 
 impl fmt::Debug for Simulation {
@@ -156,6 +185,7 @@ impl fmt::Debug for Simulation {
             .field("now", &st.now)
             .field("threads", &st.threads.len())
             .field("procs", &st.procs.len())
+            .field("lanes", &(1 + self.extra.len()))
             .finish()
     }
 }
@@ -181,6 +211,7 @@ pub struct SimulationBuilder {
     seed: u64,
     backend: Option<Backend>,
     fiber_stack_size: usize,
+    shards: Option<usize>,
 }
 
 impl SimulationBuilder {
@@ -209,6 +240,18 @@ impl SimulationBuilder {
         self
     }
 
+    /// Explicit shard count — the maximum number of runner OS threads for
+    /// windowed parallel execution (`0` = auto, one per host core) —
+    /// outranking the `DESIM_SHARDS` environment variable and
+    /// [`crate::set_shards_override`]. Effective parallelism is
+    /// `min(shards, lanes)`, so the knob never affects a single-lane
+    /// simulation, and it never affects observable results on any
+    /// simulation — only wall-clock time (see [`crate::shard`]).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
     /// Builds the simulation.
     pub fn build(self) -> Simulation {
         install_quiet_shutdown_hook();
@@ -216,9 +259,23 @@ impl SimulationBuilder {
             Some(b) => b.resolve(),
             None => Backend::default_backend(),
         };
+        let shards = match self.shards {
+            Some(0) => ShardCount::Auto,
+            Some(n) => ShardCount::Fixed(n),
+            None => shard::default_shards(),
+        };
         Simulation {
             core: Core::new(self.seed, backend, self.fiber_stack_size),
+            extra: Vec::new(),
+            xports: Vec::new(),
+            shards,
+            seed: self.seed,
+            fiber_stack_size: self.fiber_stack_size,
             default_switch_cost: SimDuration::ZERO,
+            max_events: None,
+            perturb_seed: None,
+            tracing_cap: None,
+            string_trace: false,
         }
     }
 }
@@ -237,12 +294,160 @@ impl Simulation {
             seed: 0,
             backend: None,
             fiber_stack_size: fiber::DEFAULT_STACK_SIZE,
+            shards: None,
         }
     }
 
     /// The execution backend this simulation runs its threads on.
     pub fn backend(&self) -> Backend {
         self.core.backend()
+    }
+
+    /// All lanes, lane 0 first.
+    fn cores(&self) -> impl Iterator<Item = &Arc<Core>> {
+        std::iter::once(&self.core).chain(self.extra.iter())
+    }
+
+    fn lane_core(&self, lane: LaneId) -> &Arc<Core> {
+        if lane.0 == 0 {
+            &self.core
+        } else {
+            self.extra
+                .get(lane.index() - 1)
+                .unwrap_or_else(|| panic!("unknown lane {lane}; call add_lane first"))
+        }
+    }
+
+    /// Number of scheduler lanes (at least 1).
+    pub fn lanes(&self) -> usize {
+        1 + self.extra.len()
+    }
+
+    /// The effective runner count a windowed run would use on this host:
+    /// the configured shard count clamped to the lane count.
+    pub fn shards(&self) -> usize {
+        self.shards.resolve().min(self.lanes()).max(1)
+    }
+
+    /// The lookahead windowed execution would use: the minimum delay over
+    /// all cross-lane links, or `None` when no links exist (lanes are then
+    /// fully independent and each runs to completion in one window).
+    pub fn lookahead(&self) -> Option<SimDuration> {
+        self.xports.iter().map(|x| x.min_delay()).min()
+    }
+
+    /// Adds a scheduler lane and returns its id.
+    ///
+    /// The lane is a complete independent scheduler: its own event queue,
+    /// clock, sequence counter, RNG (seeded deterministically from the
+    /// simulation seed and the lane index), perturbation stream, and trace
+    /// buffers. Processors and threads are placed on it with
+    /// [`Simulation::add_processor_on`] / [`Simulation::spawn_on_lane`];
+    /// lanes interact only through [`Simulation::cross_link`]. With more
+    /// than one lane, [`Simulation::run`] switches to conservative windowed
+    /// execution — observably identical to serial, parallel up to the
+    /// configured shard count (see [`crate::shard`]).
+    pub fn add_lane(&mut self) -> LaneId {
+        let idx = self.extra.len() + 1;
+        let core = Core::new(
+            shard::lane_seed(self.seed, idx as u64),
+            self.backend(),
+            self.fiber_stack_size,
+        );
+        {
+            let mut st = core.state.lock();
+            st.max_events = self.max_events;
+            if let Some(ps) = self.perturb_seed {
+                use rand::rngs::SmallRng;
+                use rand::SeedableRng;
+                st.perturb = Some(SmallRng::seed_from_u64(shard::lane_seed(ps, idx as u64)));
+            }
+            if let Some(cap) = self.tracing_cap {
+                st.tracer = Some(Tracer::new(cap));
+                core.trace_on
+                    .store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+            if self.string_trace {
+                st.trace = Some(Vec::new());
+            }
+        }
+        self.extra.push(core);
+        LaneId(idx as u32)
+    }
+
+    /// Adds a processor on the given lane (see [`Simulation::add_processor`]).
+    pub fn add_processor_on(&mut self, lane: LaneId, name: &str) -> ProcId {
+        self.lane_core(lane)
+            .add_processor(name, self.default_switch_cost)
+    }
+
+    /// Spawns a simulated thread on a processor of the given lane.
+    ///
+    /// The returned handle must only be joined from the same lane.
+    pub fn spawn_on_lane<F>(&mut self, lane: LaneId, proc: ProcId, name: &str, f: F) -> ThreadHandle
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        let core = Arc::clone(self.lane_core(lane));
+        let tid = core.spawn_thread(proc, name, false, f);
+        ThreadHandle::new(core, tid)
+    }
+
+    /// Spawns a daemon thread on a processor of the given lane (see
+    /// [`Simulation::spawn_daemon`]).
+    pub fn spawn_daemon_on_lane<F>(
+        &mut self,
+        lane: LaneId,
+        proc: ProcId,
+        name: &str,
+        f: F,
+    ) -> ThreadHandle
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        let core = Arc::clone(self.lane_core(lane));
+        let tid = core.spawn_thread(proc, name, true, f);
+        ThreadHandle::new(core, tid)
+    }
+
+    /// Creates a cross-lane link: the only legal way for code on
+    /// `src_lane` to affect `dst_lane`.
+    ///
+    /// Values sent through the returned [`XSender`] arrive on the `dst`
+    /// channel exactly `delay` after the send instant, delivered by an
+    /// injector daemon spawned on (`dst_lane`, `dst_proc`) — so receivers
+    /// see ordinary in-lane channel messages with the correct timestamp and
+    /// pick order. `delay` must be positive: the minimum over all links is
+    /// the lookahead that makes parallel windows safe. `dst_proc` must be a
+    /// processor of `dst_lane`, and the sender must only be used from
+    /// `src_lane` (debug-asserted on send).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is zero or the lanes are equal.
+    pub fn cross_link<T: Send + 'static>(
+        &mut self,
+        name: &str,
+        delay: SimDuration,
+        src_lane: LaneId,
+        dst_lane: LaneId,
+        dst_proc: ProcId,
+        dst: SimChannel<T>,
+    ) -> XSender<T> {
+        assert_ne!(
+            src_lane, dst_lane,
+            "cross_link connects two different lanes; same-lane traffic \
+             uses plain channels"
+        );
+        let (sender, port, injector) = shard::new_link(
+            delay,
+            self.lane_core(src_lane),
+            self.lane_core(dst_lane),
+            dst,
+        );
+        self.xports.push(port);
+        self.spawn_daemon_on_lane(dst_lane, dst_proc, &format!("xlink-{name}"), injector);
+        sender
     }
 
     /// Sets the context-switch cost used for processors added *afterwards*.
@@ -258,7 +463,10 @@ impl Simulation {
     /// scheduler and the thread-side hand-off fast path check it before
     /// every pop.
     pub fn set_max_events(&mut self, limit: u64) {
-        self.core.state.lock().max_events = Some(limit);
+        self.max_events = Some(limit);
+        for core in self.cores() {
+            core.state.lock().max_events = Some(limit);
+        }
     }
 
     /// Enables seeded scheduler perturbation: among wake events scheduled
@@ -274,7 +482,14 @@ impl Simulation {
     pub fn set_schedule_perturbation(&mut self, seed: u64) {
         use rand::rngs::SmallRng;
         use rand::SeedableRng;
-        self.core.state.lock().perturb = Some(SmallRng::seed_from_u64(seed));
+        self.perturb_seed = Some(seed);
+        for (idx, core) in self.cores().enumerate() {
+            // Per-lane derived streams (lane 0 keeps `seed` verbatim), so a
+            // lane's tie draws depend only on its own schedule — never on
+            // how other lanes interleave.
+            core.state.lock().perturb =
+                Some(SmallRng::seed_from_u64(shard::lane_seed(seed, idx as u64)));
+        }
     }
 
     /// Adds a processor (one CPU) and returns its id.
@@ -335,10 +550,24 @@ impl Simulation {
     ///
     /// Propagates panics from simulated threads.
     pub fn run_until_finished(&mut self, target: &ThreadHandle) -> Result<SimReport, SimError> {
-        self.run_inner(Some(target.id()))
+        let lane = self
+            .cores()
+            .position(|c| Arc::ptr_eq(c, &target.core))
+            .expect("thread handle belongs to another simulation");
+        self.run_inner(Some((lane, target.id())))
     }
 
-    fn run_inner(&mut self, stop_on: Option<ThreadId>) -> Result<SimReport, SimError> {
+    fn run_inner(&mut self, stop_on: Option<(usize, ThreadId)>) -> Result<SimReport, SimError> {
+        if self.extra.is_empty() && self.xports.is_empty() {
+            return self.run_classic(stop_on.map(|(_, t)| t));
+        }
+        self.run_windowed(stop_on)
+    }
+
+    /// The single-lane event loop — byte-identical to what every simulation
+    /// ran before lanes existed (the windowed driver is dispatched only
+    /// when a second lane or a link exists).
+    fn run_classic(&mut self, stop_on: Option<ThreadId>) -> Result<SimReport, SimError> {
         // The stop/limit checks live inside `Core::step` so the whole event
         // loop — including skipping cancelled wakes — runs under a single
         // state lock acquisition per resumption. Most events never even
@@ -357,46 +586,221 @@ impl Simulation {
                         .expect("limit was configured");
                     return Err(SimError::EventLimitExceeded { limit });
                 }
+                StepResult::WindowEdge => unreachable!("window limit outside windowed execution"),
                 StepResult::Drained => break,
             }
         }
-        // Queue drained: every non-daemon thread must have finished.
-        let blocked: Vec<(String, &'static str)> = {
-            let st = self.core.state.lock();
-            st.threads
-                .iter()
-                .filter(|t| t.state != ThreadState::Finished && !t.daemon)
-                .map(|t| (t.name.to_string(), t.blocked_on))
-                .collect()
-        };
-        if !blocked.is_empty() || stop_on.is_some() {
-            // `stop_on` reaching here means the target never finished.
+        self.drained_result(stop_on.is_some())
+    }
+
+    /// Queue(s) drained: every non-daemon thread must have finished, and a
+    /// `stop_on` target reaching this point never finished.
+    fn drained_result(&self, had_target: bool) -> Result<SimReport, SimError> {
+        let mut blocked: Vec<(String, &'static str)> = Vec::new();
+        for core in self.cores() {
+            let st = core.state.lock();
+            blocked.extend(
+                st.threads
+                    .iter()
+                    .filter(|t| t.state != ThreadState::Finished && !t.daemon)
+                    .map(|t| (t.name.to_string(), t.blocked_on)),
+            );
+        }
+        if !blocked.is_empty() || had_target {
             return Err(SimError::Deadlock { blocked });
         }
         Ok(self.report())
     }
 
-    /// Returns the current virtual time.
-    pub fn now(&self) -> SimTime {
-        self.core.state.lock().now
+    /// The conservative windowed driver (see [`crate::shard`] for the
+    /// scheme and the bit-identity argument). Structure per round, with
+    /// every lane stopped between `done` and the next `start`:
+    ///
+    /// 1. flush every cross-lane link, in registration order;
+    /// 2. stop if the target finished, a lane hit its event budget, or the
+    ///    summed budget is exhausted;
+    /// 3. `T_min` ← earliest queued instant over all lanes (none = done);
+    /// 4. open the window `[T_min, T_min + lookahead)` on every lane
+    ///    (unbounded when no links exist — the lanes are independent);
+    /// 5. advance all lanes to their window edge, in parallel across the
+    ///    runner pool (lane→runner assignment is round-robin; any
+    ///    assignment is correct, parallelism only affects wall-clock).
+    fn run_windowed(&mut self, stop: Option<(usize, ThreadId)>) -> Result<SimReport, SimError> {
+        use std::panic;
+        use std::sync::atomic::{AtomicBool, AtomicU8, Ordering as AO};
+        use std::sync::Barrier;
+
+        let cores: Vec<Arc<Core>> = self.cores().cloned().collect();
+        let lanes = cores.len();
+        let runners = self.shards();
+        let lookahead = self.lookahead();
+
+        const OUT_PAUSED: u8 = 0; // Drained or WindowEdge
+        const OUT_LIMIT: u8 = 1;
+        let outcomes: Vec<AtomicU8> = (0..lanes).map(|_| AtomicU8::new(OUT_PAUSED)).collect();
+        let panics: Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(Vec::new());
+        let start = Barrier::new(runners);
+        let done = Barrier::new(runners);
+        let exit = AtomicBool::new(false);
+
+        // Advance every lane owned by `runner` to its window edge. A lane
+        // whose target finishes simply pauses (recorded as PAUSED); the
+        // driver re-checks the target state itself at the barrier.
+        let drive = |runner: usize| {
+            for li in (runner..lanes).step_by(runners) {
+                let core = &cores[li];
+                let stop_t = stop.and_then(|(sl, t)| (sl == li).then_some(t));
+                let result = panic::catch_unwind(panic::AssertUnwindSafe(|| loop {
+                    match core.step(stop_t) {
+                        StepResult::Progress => {}
+                        StepResult::Drained
+                        | StepResult::WindowEdge
+                        | StepResult::TargetFinished => break OUT_PAUSED,
+                        StepResult::LimitExceeded => break OUT_LIMIT,
+                    }
+                }));
+                match result {
+                    Ok(o) => outcomes[li].store(o, AO::Release),
+                    Err(p) => {
+                        outcomes[li].store(OUT_PAUSED, AO::Release);
+                        panics.lock().push((li, p));
+                    }
+                }
+            }
+        };
+
+        // Ok(true) = target finished, Ok(false) = drained, Err(()) = budget.
+        let outcome: Result<bool, ()> = std::thread::scope(|s| {
+            for r in 1..runners {
+                let (drive, start, done, exit) = (&drive, &start, &done, &exit);
+                std::thread::Builder::new()
+                    .name(format!("desim-shard-{r}"))
+                    .spawn_scoped(s, move || loop {
+                        start.wait();
+                        if exit.load(AO::Acquire) {
+                            break;
+                        }
+                        drive(r);
+                        done.wait();
+                    })
+                    .expect("failed to spawn shard runner");
+            }
+            // Committed horizon: every instant below it is finished history
+            // on every lane, so cross-lane flushes must land at or past it.
+            let mut floor = SimTime::ZERO;
+            let out = loop {
+                for xp in &self.xports {
+                    xp.flush(floor);
+                }
+                if let Some((sl, t)) = stop {
+                    if cores[sl].state.lock().threads[t.0].state == ThreadState::Finished {
+                        break Ok(true);
+                    }
+                }
+                if outcomes.iter().any(|o| o.load(AO::Acquire) == OUT_LIMIT) {
+                    break Err(());
+                }
+                if let Some(limit) = self.max_events {
+                    // Per-lane budgets already bound each lane to `limit`;
+                    // the summed check keeps an N-lane run from processing
+                    // up to N× it.
+                    let total: u64 = cores.iter().map(|c| c.state.lock().events_processed).sum();
+                    if total >= limit {
+                        break Err(());
+                    }
+                }
+                let t_min = cores
+                    .iter()
+                    .filter_map(|c| c.state.lock().peek_time())
+                    .min();
+                let Some(t_min) = t_min else {
+                    break Ok(false);
+                };
+                let window_end = lookahead.map(|la| t_min + la);
+                for c in &cores {
+                    c.state.lock().set_window(window_end, t_min);
+                }
+                start.wait();
+                drive(0);
+                done.wait();
+                if let Some(w) = window_end {
+                    floor = w;
+                }
+                if !panics.lock().is_empty() {
+                    // Release the runner pool before unwinding, or it would
+                    // wait on `start` forever and the scope never joins.
+                    exit.store(true, AO::Release);
+                    start.wait();
+                    let (_, payload) = {
+                        let mut ps = panics.lock();
+                        ps.sort_by_key(|(li, _)| *li);
+                        ps.remove(0)
+                    };
+                    // The panicking lane already shut itself down inside
+                    // `Core::step`; shut the rest down before unwinding so
+                    // every fiber unwinds cleanly (`Drop` becomes a no-op).
+                    for c in &cores {
+                        c.initiate_shutdown();
+                    }
+                    panic::resume_unwind(payload);
+                }
+            };
+            exit.store(true, AO::Release);
+            start.wait();
+            out
+        });
+
+        // Leave no window bound behind: post-run accessors and later runs
+        // (multi-phase workloads re-enter `run`) expect unbounded lanes.
+        for c in &cores {
+            c.state.lock().set_window(None, SimTime::ZERO);
+        }
+        match outcome {
+            Ok(true) => Ok(self.report()),
+            Ok(false) => self.drained_result(stop.is_some()),
+            Err(()) => Err(SimError::EventLimitExceeded {
+                limit: self.max_events.expect("limit was configured"),
+            }),
+        }
     }
 
-    /// Returns a snapshot report of the accounting so far.
+    /// Returns the current virtual time (on a multi-lane simulation: the
+    /// most-advanced lane's clock).
+    pub fn now(&self) -> SimTime {
+        self.cores()
+            .map(|c| c.state.lock().now)
+            .max()
+            .expect("at least one lane")
+    }
+
+    /// Returns one lane's virtual clock (lanes advance independently
+    /// between window barriers, so clocks legitimately differ).
+    pub fn lane_now(&self, lane: LaneId) -> SimTime {
+        self.lane_core(lane).state.lock().now
+    }
+
+    /// Returns a snapshot report of the accounting so far. Multi-lane:
+    /// events are summed, `final_time` is the most-advanced lane's clock,
+    /// and processors are listed lane-major (lane 0's first).
     pub fn report(&self) -> SimReport {
-        let st = self.core.state.lock();
+        let mut final_time = SimTime::ZERO;
+        let mut events = 0u64;
+        let mut procs = Vec::new();
+        for core in self.cores() {
+            let st = core.state.lock();
+            final_time = final_time.max(st.now);
+            events += st.events_processed;
+            procs.extend(st.procs.iter().map(|p| ProcReport {
+                name: p.name.clone(),
+                busy: p.busy,
+                interrupt_time: p.interrupt_time,
+                switches: p.switches,
+            }));
+        }
         SimReport {
-            final_time: st.now,
-            events: st.events_processed,
-            procs: st
-                .procs
-                .iter()
-                .map(|p| ProcReport {
-                    name: p.name.clone(),
-                    busy: p.busy,
-                    interrupt_time: p.interrupt_time,
-                    switches: p.switches,
-                })
-                .collect(),
+            final_time,
+            events,
+            procs,
         }
     }
 
@@ -406,25 +810,31 @@ impl Simulation {
         self.enable_tracing_with_capacity(1 << 20);
     }
 
-    /// Starts structured tracing, keeping at most `cap` most-recent events.
+    /// Starts structured tracing, keeping at most `cap` most-recent events
+    /// (per lane, on a multi-lane simulation).
     pub fn enable_tracing_with_capacity(&mut self, cap: usize) {
-        let mut st = self.core.state.lock();
-        st.tracer = Some(Tracer::new(cap));
-        self.core
-            .trace_on
-            .store(true, std::sync::atomic::Ordering::Relaxed);
+        self.tracing_cap = Some(cap);
+        for core in self.cores() {
+            core.state.lock().tracer = Some(Tracer::new(cap));
+            core.trace_on
+                .store(true, std::sync::atomic::Ordering::Relaxed);
+        }
     }
 
     /// Stops structured tracing and discards buffered events and counters.
     pub fn disable_tracing(&mut self) {
-        self.core
-            .trace_on
-            .store(false, std::sync::atomic::Ordering::Relaxed);
-        self.core.state.lock().tracer = None;
+        self.tracing_cap = None;
+        for core in self.cores() {
+            core.trace_on
+                .store(false, std::sync::atomic::Ordering::Relaxed);
+            core.state.lock().tracer = None;
+        }
     }
 
     /// Drains and returns buffered structured events (oldest first).
-    /// Counters are unaffected; tracing stays enabled.
+    /// Counters are unaffected; tracing stays enabled. Lane 0 only — see
+    /// [`Simulation::lane_trace_events`] for other lanes (thread and
+    /// processor ids in trace events are lane-local).
     pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
         match self.core.state.lock().tracer.as_mut() {
             Some(tr) => tr.drain(),
@@ -433,14 +843,22 @@ impl Simulation {
     }
 
     /// Returns a copy of buffered structured events without draining.
+    /// Lane 0 only; see [`Simulation::lane_trace_events`].
     pub fn trace_events(&self) -> Vec<TraceEvent> {
-        match self.core.state.lock().tracer.as_ref() {
+        self.lane_trace_events(LaneId::ZERO)
+    }
+
+    /// Returns a copy of one lane's buffered structured events without
+    /// draining. Thread and processor ids are local to that lane.
+    pub fn lane_trace_events(&self, lane: LaneId) -> Vec<TraceEvent> {
+        match self.lane_core(lane).state.lock().tracer.as_ref() {
             Some(tr) => tr.snapshot(),
             None => Vec::new(),
         }
     }
 
     /// Returns aggregate per-`(processor, layer, name)` counters, sorted.
+    /// Lane 0 only (`ProcId`s are lane-local).
     pub fn trace_counters(&self) -> Vec<CounterSnapshot> {
         match self.core.state.lock().tracer.as_ref() {
             Some(tr) => tr.counters(),
@@ -448,7 +866,7 @@ impl Simulation {
         }
     }
 
-    /// Number of events evicted from the ring buffer so far.
+    /// Number of events evicted from the ring buffer so far (lane 0).
     pub fn trace_dropped(&self) -> u64 {
         match self.core.state.lock().tracer.as_ref() {
             Some(tr) => tr.dropped(),
@@ -458,68 +876,100 @@ impl Simulation {
 
     /// Serializes currently buffered events as chrome://tracing JSON
     /// (load via `chrome://tracing` or <https://ui.perfetto.dev>).
+    ///
+    /// On a multi-lane simulation, all lanes' events are merged by time
+    /// (ties in lane order) with thread and processor ids remapped into the
+    /// dense lane-major numbering of [`Simulation::proc_names`] /
+    /// [`Simulation::thread_names`].
     pub fn chrome_trace_json(&self) -> String {
-        let events = self.trace_events();
-        crate::trace::chrome_trace_json(&events, &self.proc_names(), &self.thread_names())
+        let mut events = Vec::new();
+        let mut procs = Vec::new();
+        let mut threads = Vec::new();
+        for core in self.cores() {
+            let (p_off, t_off) = (procs.len(), threads.len());
+            let st = core.state.lock();
+            procs.extend(st.procs.iter().map(|p| p.name.clone()));
+            threads.extend(st.threads.iter().map(|t| t.name.to_string()));
+            if let Some(tr) = st.tracer.as_ref() {
+                events.extend(tr.snapshot().into_iter().map(|mut e| {
+                    e.proc = ProcId(e.proc.0 + p_off);
+                    e.thread = ThreadId(e.thread.0 + t_off);
+                    e
+                }));
+            }
+        }
+        // Stable sort: same-instant events keep lane order (lane-major
+        // append), and within a lane their emission order.
+        events.sort_by_key(|e| e.time);
+        crate::trace::chrome_trace_json(&events, &procs, &threads)
     }
 
-    /// Names of all processors, indexed by [`ProcId`].
+    /// Names of all processors, indexed by [`ProcId`] (lane-major on a
+    /// multi-lane simulation; `ProcId`s themselves are lane-local).
     pub fn proc_names(&self) -> Vec<String> {
-        self.core
-            .state
-            .lock()
-            .procs
-            .iter()
-            .map(|p| p.name.clone())
-            .collect()
+        let mut names = Vec::new();
+        for core in self.cores() {
+            names.extend(core.state.lock().procs.iter().map(|p| p.name.clone()));
+        }
+        names
     }
 
-    /// Names of all threads, indexed by [`ThreadId`].
+    /// Names of all threads, indexed by [`ThreadId`] (lane-major on a
+    /// multi-lane simulation; `ThreadId`s themselves are lane-local).
     pub fn thread_names(&self) -> Vec<String> {
-        self.core
-            .state
-            .lock()
-            .threads
-            .iter()
-            .map(|t| t.name.to_string())
-            .collect()
+        let mut names = Vec::new();
+        for core in self.cores() {
+            names.extend(core.state.lock().threads.iter().map(|t| t.name.to_string()));
+        }
+        names
     }
 
     /// Starts collecting trace messages emitted via [`Ctx::trace`].
     pub fn enable_trace(&mut self) {
-        self.core.state.lock().trace = Some(Vec::new());
-    }
-
-    /// Drains and returns collected trace lines, formatted
-    /// `T+<time> [<thread>] <message>`.
-    pub fn take_trace(&mut self) -> Vec<String> {
-        let mut st = self.core.state.lock();
-        match st.trace.take() {
-            Some(buf) => {
-                st.trace = Some(Vec::new());
-                buf.iter()
-                    .map(|e| format!("T+{} [{}] {}", e.time, e.thread, e.message))
-                    .collect()
-            }
-            None => Vec::new(),
+        self.string_trace = true;
+        for core in self.cores() {
+            core.state.lock().trace = Some(Vec::new());
         }
     }
 
-    /// Number of events still queued (diagnostics).
+    /// Drains and returns collected trace lines, formatted
+    /// `T+<time> [<thread>] <message>`. Multi-lane: merged by time, ties in
+    /// lane order (deterministic — both sides of the merge are).
+    pub fn take_trace(&mut self) -> Vec<String> {
+        let mut entries: Vec<(SimTime, String)> = Vec::new();
+        for core in self.cores() {
+            let mut st = core.state.lock();
+            if let Some(buf) = st.trace.take() {
+                st.trace = Some(Vec::new());
+                entries.extend(
+                    buf.iter()
+                        .map(|e| (e.time, format!("T+{} [{}] {}", e.time, e.thread, e.message))),
+                );
+            }
+        }
+        // Stable: same-instant lines keep lane-major append order.
+        entries.sort_by_key(|(t, _)| *t);
+        entries.into_iter().map(|(_, line)| line).collect()
+    }
+
+    /// Number of events still queued (diagnostics; summed over lanes).
     pub fn pending_events(&self) -> usize {
-        self.core.state.lock().queue_len()
+        self.cores().map(|c| c.state.lock().queue_len()).sum()
     }
 
     /// Number of cancelled (dead-generation) wakes consumed so far
-    /// (diagnostics). Each still advanced the clock when popped — virtual
-    /// time is independent of how cheaply they are recognized.
+    /// (diagnostics; summed over lanes). Each still advanced the clock when
+    /// popped — virtual time is independent of how cheaply they are
+    /// recognized.
     pub fn stale_wakes(&self) -> u64 {
-        self.core.state.lock().wake.stale()
+        self.cores().map(|c| c.state.lock().wake.stale()).sum()
     }
 }
 
 impl Drop for Simulation {
     fn drop(&mut self) {
-        self.core.initiate_shutdown();
+        for core in std::iter::once(&self.core).chain(self.extra.iter()) {
+            core.initiate_shutdown();
+        }
     }
 }

@@ -1,0 +1,236 @@
+//! Windowed parallel execution is observably identical to serial execution
+//! of the same lane federation.
+//!
+//! Deterministic smoke tests pin the cross-link delivery semantics; the
+//! proptest sweeps random topologies (lane counts, link delays — i.e.
+//! random lookahead windows, thread programs) and asserts that every
+//! observable — per-lane event pop order (via structured trace renders),
+//! per-lane final virtual clocks, event counts, reports, and string-trace
+//! merges — matches a serial (`shards(1)`) reference execution exactly.
+//! Failures minimize through proptest's shrinking.
+
+use desim::{us, LaneId, SimChannel, SimTime, Simulation};
+use proptest::prelude::*;
+
+/// Everything observable about one run, for exact comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Artifacts {
+    per_lane_traces: Vec<Vec<String>>,
+    per_lane_final_times: Vec<SimTime>,
+    final_time: SimTime,
+    events: u64,
+    proc_names: Vec<String>,
+    trace_lines: Vec<String>,
+    switches: Vec<u64>,
+}
+
+/// One lane's workload parameters (drawn by proptest, fixed per case).
+#[derive(Debug, Clone)]
+struct LaneSpec {
+    /// Sender iterations.
+    rounds: u64,
+    /// Whether the sender computes (CPU model) in addition to sleeping.
+    compute: bool,
+}
+
+/// Builds an `n`-lane ring — lane `i` sends to lane `(i+1) % n` through a
+/// cross-link of delay `delays[i]` — runs it with the given shard count,
+/// and captures every observable.
+fn run_ring(seed: u64, specs: &[LaneSpec], delays_us: &[u64], shards: usize) -> Artifacts {
+    let n = specs.len();
+    let mut sim = Simulation::builder().seed(seed).shards(shards).build();
+    sim.enable_tracing_with_capacity(1 << 16);
+    sim.enable_trace();
+
+    let lanes: Vec<LaneId> = (0..n)
+        .map(|i| if i == 0 { LaneId::ZERO } else { sim.add_lane() })
+        .collect();
+    let procs: Vec<_> = lanes
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| sim.add_processor_on(l, &format!("m{i}")))
+        .collect();
+    let inboxes: Vec<SimChannel<u64>> = (0..n).map(|_| SimChannel::new()).collect();
+
+    // Ring links (only meaningful with at least two lanes).
+    let senders: Vec<_> = if n > 1 {
+        (0..n)
+            .map(|i| {
+                let dst = (i + 1) % n;
+                Some(sim.cross_link(
+                    &format!("ring-{i}"),
+                    us(delays_us[i]),
+                    lanes[i],
+                    lanes[dst],
+                    procs[dst],
+                    inboxes[dst].clone(),
+                ))
+            })
+            .collect()
+    } else {
+        vec![None]
+    };
+
+    let mut handles = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let tx = senders[i].clone();
+        let spec = spec.clone();
+        handles.push(
+            sim.spawn_on_lane(lanes[i], procs[i], &format!("sender-{i}"), move |ctx| {
+                for round in 0..spec.rounds {
+                    ctx.sleep(us(1 + ctx.rand_range(50)));
+                    if spec.compute {
+                        ctx.compute(us(1 + ctx.rand_range(10)));
+                    }
+                    if let Some(tx) = tx.as_ref() {
+                        tx.send(ctx, (i as u64) << 32 | round);
+                    }
+                }
+            }),
+        );
+        let inbox = inboxes[i].clone();
+        sim.spawn_daemon_on_lane(lanes[i], procs[i], &format!("recv-{i}"), move |ctx| {
+            while let Some(v) = inbox.recv(ctx) {
+                ctx.trace(format!("got {:x} at {}", v, ctx.now()));
+            }
+        });
+    }
+
+    let report = sim.run().expect("ring runs to completion");
+    for h in &handles {
+        assert!(h.is_finished());
+    }
+    Artifacts {
+        per_lane_traces: lanes
+            .iter()
+            .map(|&l| {
+                sim.lane_trace_events(l)
+                    .iter()
+                    .map(|e| e.render())
+                    .collect()
+            })
+            .collect(),
+        per_lane_final_times: lanes.iter().map(|&l| sim.lane_now(l)).collect(),
+        final_time: report.final_time,
+        events: report.events,
+        proc_names: sim.proc_names(),
+        trace_lines: sim.take_trace(),
+        switches: report.procs.iter().map(|p| p.switches).collect(),
+    }
+}
+
+#[test]
+fn cross_link_delivers_at_exactly_send_plus_delay() {
+    let mut sim = Simulation::new(7);
+    let l1 = sim.add_lane();
+    let p0 = sim.add_processor("m0");
+    let p1 = sim.add_processor_on(l1, "m1");
+    let inbox: SimChannel<u64> = SimChannel::new();
+    let tx = sim.cross_link("l01", us(30), LaneId::ZERO, l1, p1, inbox.clone());
+    sim.spawn(p0, "src", move |ctx| {
+        ctx.sleep(us(5));
+        tx.send(ctx, 42);
+        ctx.sleep(us(100));
+        tx.send(ctx, 43);
+    });
+    let sink = sim.spawn_on_lane(l1, p1, "sink", move |ctx| {
+        assert_eq!(inbox.recv(ctx), Some(42));
+        assert_eq!(ctx.now(), SimTime::ZERO + us(5) + us(30));
+        assert_eq!(inbox.recv(ctx), Some(43));
+        assert_eq!(ctx.now(), SimTime::ZERO + us(105) + us(30));
+    });
+    sim.run_until_finished(&sink).expect("sink finishes");
+    assert_eq!(sim.lookahead(), Some(us(30)));
+}
+
+#[test]
+fn independent_lanes_drain_in_one_unbounded_window() {
+    for shards in [1, 2, 4] {
+        let mut sim = Simulation::builder().seed(3).shards(shards).build();
+        let l1 = sim.add_lane();
+        let p0 = sim.add_processor("a");
+        let p1 = sim.add_processor_on(l1, "b");
+        sim.spawn(p0, "ta", |ctx| ctx.sleep(us(10)));
+        sim.spawn_on_lane(l1, p1, "tb", |ctx| ctx.sleep(us(25)));
+        let report = sim.run().expect("independent lanes drain");
+        assert_eq!(sim.lookahead(), None);
+        assert_eq!(report.final_time, SimTime::ZERO + us(25));
+        assert_eq!(sim.lane_now(LaneId::ZERO), SimTime::ZERO + us(10));
+        assert_eq!(sim.lane_now(l1), SimTime::ZERO + us(25));
+    }
+}
+
+#[test]
+fn event_budget_stops_a_windowed_run() {
+    let mut sim = Simulation::new(11);
+    let l1 = sim.add_lane();
+    let p0 = sim.add_processor("a");
+    let p1 = sim.add_processor_on(l1, "b");
+    let inbox: SimChannel<u64> = SimChannel::new();
+    let tx = sim.cross_link("x", us(10), LaneId::ZERO, l1, p1, inbox.clone());
+    sim.set_max_events(500);
+    sim.spawn(p0, "spin", move |ctx| loop {
+        ctx.sleep(us(1));
+        tx.send(ctx, 0);
+    });
+    sim.spawn_daemon_on_lane(
+        l1,
+        p1,
+        "drain",
+        move |ctx| {
+            while inbox.recv(ctx).is_some() {}
+        },
+    );
+    match sim.run() {
+        Err(desim::SimError::EventLimitExceeded { limit }) => assert_eq!(limit, 500),
+        other => panic!("expected EventLimitExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn two_lane_ring_is_shard_count_independent() {
+    let specs = vec![
+        LaneSpec {
+            rounds: 40,
+            compute: true,
+        },
+        LaneSpec {
+            rounds: 25,
+            compute: false,
+        },
+    ];
+    let delays = vec![30, 45];
+    let reference = run_ring(0xA5, &specs, &delays, 1);
+    assert!(
+        reference.trace_lines.iter().any(|l| l.contains("got")),
+        "ring must actually deliver cross-lane traffic"
+    );
+    for shards in [2, 4, 0] {
+        assert_eq!(reference, run_ring(0xA5, &specs, &delays, shards));
+    }
+}
+
+fn lane_spec() -> impl Strategy<Value = LaneSpec> {
+    (1u64..12, any::<bool>()).prop_map(|(rounds, compute)| LaneSpec { rounds, compute })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random topology (1–3 lanes), random lookahead (link delays), random
+    /// per-lane programs: `shards=2` and `shards=auto` must reproduce the
+    /// `shards=1` serial reference bit for bit.
+    #[test]
+    fn windowed_matches_serial_reference(
+        seed in any::<u64>(),
+        specs in proptest::collection::vec(lane_spec(), 1..4),
+        delays in proptest::collection::vec(5u64..200, 3..4),
+    ) {
+        let delays = delays[..specs.len()].to_vec();
+        let reference = run_ring(seed, &specs, &delays, 1);
+        for shards in [2usize, 0] {
+            let other = run_ring(seed, &specs, &delays, shards);
+            prop_assert_eq!(&reference, &other);
+        }
+    }
+}

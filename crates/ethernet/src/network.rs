@@ -6,6 +6,37 @@
 //! delivers the frame to every matching attachment. A [`Switch`] connects
 //! segments store-and-forward; multicast and broadcast frames are flooded to
 //! all other segments.
+//!
+//! # Sharding: segments as the unit of parallelism
+//!
+//! A segment can be placed on a dedicated scheduler lane with
+//! [`Network::add_segment_on`], which lets the simulation advance segments
+//! concurrently under desim's conservative windowed driver. [`Network::add_switch`]
+//! detects segment placement automatically: when every connected segment
+//! lives on one lane it spawns the classic in-lane port daemons (bit-identical
+//! to the unsharded build), and when segments span lanes it builds a mesh of
+//! cross-lane links whose delay is the switch's store-and-forward latency
+//! ([`NetConfig::switch_latency`]) — that latency is exactly the conservative
+//! lookahead the windowed driver uses, exposed via
+//! [`Network::min_cross_segment_latency`].
+//!
+//! Forwarding semantics differ in one documented way: the classic switch's
+//! port daemon *sleeps* for the hop latency (frames behind it on the same
+//! port queue up), while a cross-lane hop is *pipelined* — each frame arrives
+//! `switch_latency` after capture, but the port does not block. Arrival
+//! times for an isolated frame are identical.
+//!
+//! ## Fault injection under sharding
+//!
+//! Each segment daemon draws fault coin flips from its own lane's RNG, so
+//! probability knobs ([`FaultState::wire_loss_prob`] etc.) and static
+//! topology faults ([`FaultState::crash`], [`FaultState::partition`]) remain
+//! bit-identical across shard counts. Two knobs mutate shared state per
+//! carried frame and are therefore restricted to single-lane topologies:
+//! [`FaultState::gilbert`] and [`FaultState::force_drop_next`]. With
+//! multiple lanes, set fault knobs before the run starts (or from a thread
+//! on the same lane as the affected segment); mid-run mutation from another
+//! lane races with that lane's window execution.
 
 use std::collections::HashSet;
 use std::fmt;
@@ -13,7 +44,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use desim::trace::{Layer, Phase};
-use desim::{Ctx, PendingWake, SimChannel, SimDuration, Simulation};
+use desim::{Ctx, LaneId, PendingWake, ProcId, SimChannel, SimDuration, Simulation, XSender};
 use parking_lot::Mutex;
 
 use crate::frame::{Dest, Frame, MacAddr, McastAddr};
@@ -246,12 +277,19 @@ struct SegmentInner {
     attachments: Vec<Attachment>,
     stats: SegmentStats,
     held: Vec<HeldDelivery>,
+    /// Scheduler lane this segment's daemon runs on.
+    lane: LaneId,
+    /// The segment daemon's processor (cross-lane injectors ride on it).
+    proc: ProcId,
 }
 
 struct NetInner {
     segments: Vec<SegmentInner>,
     /// Static station directory: `mac -> segment` (index by `MacAddr.0`).
     mac_home: Vec<Option<SegmentId>>,
+    /// Minimum delay over all cross-lane switch hops built so far (the
+    /// conservative lookahead this network contributes to the simulation).
+    min_cross_latency: Option<SimDuration>,
 }
 
 impl NetInner {
@@ -312,6 +350,7 @@ impl Network {
             inner: Arc::new(Mutex::new(NetInner {
                 segments: Vec::new(),
                 mac_home: Vec::new(),
+                min_cross_latency: None,
             })),
             faults: Arc::new(Mutex::new(FaultState::default())),
         }
@@ -332,9 +371,19 @@ impl Network {
         Arc::clone(&self.faults)
     }
 
-    /// Adds a shared-medium segment and spawns its transmission daemon.
+    /// Adds a shared-medium segment and spawns its transmission daemon on
+    /// the root lane. Equivalent to `add_segment_on(sim, name, LaneId::ZERO)`.
     pub fn add_segment(&mut self, sim: &mut Simulation, name: &str) -> SegmentId {
+        self.add_segment_on(sim, name, LaneId::ZERO)
+    }
+
+    /// Adds a shared-medium segment whose transmission daemon runs on the
+    /// given scheduler lane. Segments on different lanes advance in parallel
+    /// under the windowed driver; connect them with [`Network::add_switch`],
+    /// which builds cross-lane links automatically.
+    pub fn add_segment_on(&mut self, sim: &mut Simulation, name: &str, lane: LaneId) -> SegmentId {
         let tx = SimChannel::new();
+        let proc = sim.add_processor_on(lane, &format!("net-{name}"));
         let id = {
             let mut inner = self.inner.lock();
             let id = SegmentId(inner.segments.len());
@@ -344,15 +393,29 @@ impl Network {
                 attachments: Vec::new(),
                 stats: SegmentStats::default(),
                 held: Vec::new(),
+                lane,
+                proc,
             });
             id
         };
-        let proc = sim.add_processor(&format!("net-{name}"));
         let net = self.clone();
-        sim.spawn_daemon(proc, &format!("eth-{name}"), move |ctx| {
+        sim.spawn_daemon_on_lane(lane, proc, &format!("eth-{name}"), move |ctx| {
             net.segment_daemon(ctx, id);
         });
         id
+    }
+
+    /// The scheduler lane a segment's daemon runs on.
+    pub fn segment_lane(&self, segment: SegmentId) -> LaneId {
+        self.inner.lock().segments[segment.0].lane
+    }
+
+    /// Minimum store-and-forward latency over the cross-lane switch hops
+    /// built so far — the conservative lookahead this network contributes
+    /// (`None` until a cross-lane switch exists; the simulation computes the
+    /// same bound itself from its registered links).
+    pub fn min_cross_segment_latency(&self) -> Option<SimDuration> {
+        self.inner.lock().min_cross_latency
     }
 
     /// Attaches a station to `segment` and returns its NIC.
@@ -391,25 +454,90 @@ impl Network {
     /// Unicast frames are forwarded to the destination's home segment;
     /// multicast and broadcast frames are flooded to all other segments.
     /// A single switch per network is supported (no loop protection).
+    ///
+    /// Placement is detected automatically: if every segment lives on one
+    /// scheduler lane the classic in-lane port daemons are spawned
+    /// (bit-identical to the unsharded build); if segments span lanes, each
+    /// segment gets its own port daemon on its own lane and hops between
+    /// lanes ride cross-lane links of delay [`NetConfig::switch_latency`]
+    /// (pipelined: the port does not block for the hop; see module docs).
     pub fn add_switch(&mut self, sim: &mut Simulation, segments: &[SegmentId], name: &str) {
-        let proc = sim.add_processor(&format!("switch-{name}"));
-        for &seg in segments {
-            let port_rx = SimChannel::new();
+        let lanes: Vec<LaneId> = segments.iter().map(|&s| self.segment_lane(s)).collect();
+        if lanes.iter().all(|&l| l == lanes[0]) {
+            let proc = sim.add_processor_on(lanes[0], &format!("switch-{name}"));
+            for &seg in segments {
+                let port_rx = self.add_switch_port(seg);
+                let net = self.clone();
+                let all: Vec<SegmentId> = segments.to_vec();
+                sim.spawn_daemon_on_lane(lanes[0], proc, &format!("sw-{name}-{seg}"), move |ctx| {
+                    net.switch_port_daemon(ctx, seg, &all, port_rx);
+                });
+            }
+            return;
+        }
+        // Cross-lane switch: one port daemon per segment, on that segment's
+        // lane, plus a link (cross-lane or local channel) to every other
+        // connected segment.
+        assert!(
+            !self.cfg.switch_latency.is_zero(),
+            "a cross-lane switch needs a positive switch_latency (it is the lookahead)"
+        );
+        for (i, &seg) in segments.iter().enumerate() {
+            let port_rx = self.add_switch_port(seg);
+            let (my_lane, my_proc) = {
+                let inner = self.inner.lock();
+                (inner.segments[seg.0].lane, inner.segments[seg.0].proc)
+            };
+            let mut links: Vec<(SegmentId, PortLink)> = Vec::new();
+            for (j, &dst) in segments.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let (dst_lane, dst_proc, dst_tx) = {
+                    let inner = self.inner.lock();
+                    let s = &inner.segments[dst.0];
+                    (s.lane, s.proc, s.tx.clone())
+                };
+                let link = if dst_lane == my_lane {
+                    PortLink::Local(dst_tx)
+                } else {
+                    PortLink::Cross(sim.cross_link(
+                        &format!("sw-{name}-{seg}-{dst}"),
+                        self.cfg.switch_latency,
+                        my_lane,
+                        dst_lane,
+                        dst_proc,
+                        dst_tx,
+                    ))
+                };
+                links.push((dst, link));
+            }
             {
                 let mut inner = self.inner.lock();
-                inner.segments[seg.0].attachments.push(Attachment {
-                    mac: None,
-                    promiscuous: true,
-                    groups: HashSet::new(),
-                    rx: port_rx.clone(),
+                inner.min_cross_latency = Some(match inner.min_cross_latency {
+                    Some(cur) => cur.min(self.cfg.switch_latency),
+                    None => self.cfg.switch_latency,
                 });
             }
             let net = self.clone();
-            let all: Vec<SegmentId> = segments.to_vec();
-            sim.spawn_daemon(proc, &format!("sw-{name}-{seg}"), move |ctx| {
-                net.switch_port_daemon(ctx, seg, &all, port_rx);
+            sim.spawn_daemon_on_lane(my_lane, my_proc, &format!("sw-{name}-{seg}"), move |ctx| {
+                net.sharded_switch_port_daemon(ctx, seg, &links, port_rx);
             });
         }
+    }
+
+    /// Attaches a promiscuous capture port for a switch to `seg` and returns
+    /// its receive queue.
+    fn add_switch_port(&mut self, seg: SegmentId) -> SimChannel<Frame> {
+        let port_rx = SimChannel::new();
+        let mut inner = self.inner.lock();
+        inner.segments[seg.0].attachments.push(Attachment {
+            mac: None,
+            promiscuous: true,
+            groups: HashSet::new(),
+            rx: port_rx.clone(),
+        });
+        port_rx
     }
 
     /// Snapshot of a segment's counters.
@@ -714,6 +842,87 @@ impl Network {
             }
         }
     }
+
+    /// Port daemon for a cross-lane switch. Runs on the port segment's own
+    /// lane; hops to same-lane segments behave like the classic switch
+    /// (sleep, then enqueue), hops to other lanes ride a cross-lane link
+    /// that adds the same latency without blocking this port.
+    ///
+    /// For floods, cross-lane sends happen first (the link stamps arrival
+    /// `switch_latency` from now), then the daemon sleeps the hop latency
+    /// and enqueues on same-lane segments — so every destination sees the
+    /// frame at the same virtual instant the classic switch would deliver it.
+    fn sharded_switch_port_daemon(
+        &self,
+        ctx: &Ctx,
+        my_segment: SegmentId,
+        links: &[(SegmentId, PortLink)],
+        port_rx: SimChannel<Frame>,
+    ) {
+        while let Some(frame) = port_rx.recv(ctx) {
+            let src_home = self.inner.lock().home_of(frame.src);
+            // Only forward frames that originated on this port's segment;
+            // anything else was injected by the switch itself.
+            if src_home != Some(my_segment) {
+                continue;
+            }
+            match frame.dst {
+                Dest::Unicast(mac) => {
+                    let dst_home = self.inner.lock().home_of(mac);
+                    let Some(seg) = dst_home else { continue };
+                    if seg == my_segment {
+                        continue; // local traffic: no forward
+                    }
+                    let Some((_, link)) = links.iter().find(|(s, _)| *s == seg) else {
+                        continue; // destination not behind this switch
+                    };
+                    ctx.trace_cost(Layer::Net, "switch_hop", self.cfg.switch_latency);
+                    match link {
+                        PortLink::Local(tx) => {
+                            ctx.sleep(self.cfg.switch_latency);
+                            let _ = tx.send(ctx, frame);
+                        }
+                        PortLink::Cross(x) => x.send(ctx, frame),
+                    }
+                }
+                Dest::Multicast(_) | Dest::Broadcast => {
+                    ctx.trace_cost(Layer::Net, "switch_hop", self.cfg.switch_latency);
+                    let mut any_local = false;
+                    for (_, link) in links {
+                        if let PortLink::Cross(x) = link {
+                            x.send(ctx, frame.clone());
+                        } else {
+                            any_local = true;
+                        }
+                    }
+                    if any_local {
+                        ctx.sleep(self.cfg.switch_latency);
+                        let mut wakes: Vec<PendingWake> = Vec::new();
+                        for (_, link) in links {
+                            if let PortLink::Local(tx) = link {
+                                if let Ok(Some(w)) = tx.send_deferred(frame.clone()) {
+                                    wakes.push(w);
+                                }
+                            }
+                        }
+                        if !wakes.is_empty() {
+                            ctx.commit_wakes(wakes);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One forwarding edge of a cross-lane switch port.
+enum PortLink {
+    /// Destination segment lives on the same lane: enqueue directly on its
+    /// medium after sleeping the hop latency (classic semantics).
+    Local(SimChannel<Frame>),
+    /// Destination segment lives on another lane: a cross-lane link carries
+    /// the frame with the hop latency as its delay.
+    Cross(XSender<Frame>),
 }
 
 /// A station's network interface.
