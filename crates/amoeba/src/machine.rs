@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use desim::trace::Layer;
-use desim::{Ctx, ProcId, SimChannel, Simulation};
+use desim::{Ctx, LaneId, ProcId, SimChannel, Simulation};
 use ethernet::{MacAddr, McastAddr, Network, SegmentId};
 use flip::{FlipAddr, FlipIface, FlipMessage, FLIP_FRAGMENT_BYTES};
 use parking_lot::Mutex;
@@ -27,8 +27,11 @@ enum Sink {
 struct MachineInner {
     name: String,
     proc: ProcId,
+    lane: LaneId,
     iface: FlipIface,
-    cost: CostModel,
+    /// Shared, not cloned: at fleet scale thousands of machines reference
+    /// one calibration instead of each carrying a private copy.
+    cost: Arc<CostModel>,
     sinks: Mutex<HashMap<FlipAddr, Sink>>,
     dropped: Mutex<u64>,
 }
@@ -59,13 +62,36 @@ impl Machine {
         name: &str,
         cost: CostModel,
     ) -> Machine {
-        let proc = sim.add_processor_with_switch_cost(name, cost.context_switch);
+        Machine::boot_on(sim, net, segment, mac, name, Arc::new(cost), LaneId::ZERO)
+    }
+
+    /// Boots a machine on a specific scheduler lane. The lane must be the
+    /// lane `segment`'s daemon runs on: a machine interacts with the medium
+    /// through plain channels, which are only legal within one lane. The
+    /// cost model is shared (`Arc`), so a fleet of identical machines
+    /// carries one copy.
+    pub fn boot_on(
+        sim: &mut Simulation,
+        net: &mut Network,
+        segment: SegmentId,
+        mac: MacAddr,
+        name: &str,
+        cost: Arc<CostModel>,
+        lane: LaneId,
+    ) -> Machine {
+        assert_eq!(
+            net.segment_lane(segment),
+            lane,
+            "machine {name} must boot on its segment's lane (NIC channels do not cross lanes)"
+        );
+        let proc = sim.add_processor_with_switch_cost_on(lane, name, cost.context_switch);
         let nic = net.attach(mac, segment);
         let iface = FlipIface::new(nic);
         let machine = Machine {
             inner: Arc::new(MachineInner {
                 name: name.to_owned(),
                 proc,
+                lane,
                 iface,
                 cost,
                 sinks: Mutex::new(HashMap::new()),
@@ -73,7 +99,7 @@ impl Machine {
             }),
         };
         let rx_machine = machine.clone();
-        sim.spawn_daemon(proc, &format!("{name}-netisr"), move |ctx| {
+        sim.spawn_daemon_on_lane(lane, proc, &format!("{name}-netisr"), move |ctx| {
             rx_machine.rx_loop(ctx);
         });
         machine
@@ -275,6 +301,13 @@ impl Machine {
         self.inner.proc
     }
 
+    /// The scheduler lane the machine (its processor and all its daemons)
+    /// runs on. [`ProcId`]s are per-lane indices, so protocol modules that
+    /// spawn threads on [`Machine::proc`] must do so on this lane.
+    pub fn lane(&self) -> LaneId {
+        self.inner.lane
+    }
+
     /// The machine's name.
     pub fn name(&self) -> &str {
         &self.inner.name
@@ -294,6 +327,12 @@ impl Machine {
     /// The machine's cost model.
     pub fn cost(&self) -> &CostModel {
         &self.inner.cost
+    }
+
+    /// The shared handle to the cost model (for booting further machines
+    /// without duplicating the calibration).
+    pub fn cost_shared(&self) -> Arc<CostModel> {
+        Arc::clone(&self.inner.cost)
     }
 
     /// Messages that arrived for an address with no registered sink.

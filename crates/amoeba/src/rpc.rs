@@ -397,14 +397,23 @@ impl RpcServer {
 // Client
 // ---------------------------------------------------------------------------
 
+/// Events carry the sequence number they answer: reply slots are pooled and
+/// reused across calls (a 10k-machine fleet would otherwise allocate a fresh
+/// channel per RPC), and a late duplicate from a slot's previous life must be
+/// recognizable so the new owner can discard it.
 enum ClientEvent {
-    Reply(Bytes),
-    Working,
+    Reply(u64, Bytes),
+    Working(u64),
 }
+
+/// Reply slots kept for reuse per client endpoint. Concurrency per machine is
+/// tiny (a handful of app threads), so a short free list captures all reuse.
+const SLOT_POOL_MAX: usize = 4;
 
 struct ClientState {
     next_seq: u64,
     waiting: HashMap<u64, SimChannel<ClientEvent>>,
+    slot_pool: Vec<SimChannel<ClientEvent>>,
 }
 
 /// The kernel RPC client endpoint of a machine. One per machine; any number
@@ -430,6 +439,7 @@ impl RpcClient {
         let state = Arc::new(Mutex::new(ClientState {
             next_seq: 1,
             waiting: HashMap::new(),
+            slot_pool: Vec::new(),
         }));
         let client = RpcClient {
             machine: machine.clone(),
@@ -461,7 +471,7 @@ impl RpcClient {
         };
         if header.kind == Kind::Working {
             ctx.trace_instant(Layer::Rpc, "working_rx", &[("seq", header.seq)]);
-            let _ = slot.send(ctx, ClientEvent::Working);
+            let _ = slot.send(ctx, ClientEvent::Working(header.seq));
             return;
         }
         ctx.trace_instant(
@@ -478,7 +488,7 @@ impl RpcClient {
         // Wake the blocked client directly from the interrupt handler — this
         // is the kernel-space fast path: no context switch is charged because
         // no other thread gets scheduled in between.
-        let _ = slot.send(ctx, ClientEvent::Reply(body));
+        let _ = slot.send(ctx, ClientEvent::Reply(header.seq, body));
         // The kernel sends the explicit acknowledgement (3rd leg, off the
         // client's critical path).
         let ack = Header {
@@ -506,7 +516,7 @@ impl RpcClient {
             let mut st = self.state.lock();
             let seq = st.next_seq;
             st.next_seq += 1;
-            let slot = SimChannel::new();
+            let slot = st.slot_pool.pop().unwrap_or_default();
             st.waiting.insert(seq, slot.clone());
             (seq, slot)
         };
@@ -570,11 +580,16 @@ impl RpcClient {
             }
             let backoff = self.config.timeout * (1u64 << attempt.min(4));
             match slot.recv_timeout(ctx, backoff) {
-                Ok(ClientEvent::Reply(reply)) => {
+                // Events from a pooled slot's previous life carry a stale
+                // sequence number; discard them and keep waiting.
+                Ok(ClientEvent::Reply(s, _)) | Ok(ClientEvent::Working(s)) if s != seq => {
+                    continue;
+                }
+                Ok(ClientEvent::Reply(_, reply)) => {
                     result = Ok(reply);
                     break;
                 }
-                Ok(ClientEvent::Working) => {
+                Ok(ClientEvent::Working(_)) => {
                     // The server holds the request (a blocked guarded
                     // operation): keep waiting indefinitely while it
                     // confirms it is alive.
@@ -589,7 +604,13 @@ impl RpcClient {
                 Err(RecvTimeoutError::Closed) => break,
             }
         }
-        self.state.lock().waiting.remove(&seq);
+        {
+            let mut st = self.state.lock();
+            st.waiting.remove(&seq);
+            if st.slot_pool.len() < SLOT_POOL_MAX {
+                st.slot_pool.push(slot);
+            }
+        }
         if result.is_ok() {
             // Return from the blocking trans() syscall. The `Auto` charge
             // stays free when only interrupt work ran while we were blocked.

@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use amoeba::{CostModel, Machine};
 use desim::{Ctx, SimDuration, Simulation};
-use ethernet::{MacAddr, NetConfig, Network};
+use ethernet::{MacAddr, NetConfig, Network, TopologySpec};
 use orca::{OrcaRts, OrcaWorld, RtsStats};
 use panda::{KernelSpacePanda, Panda, PandaConfig, UserSpacePanda};
 
@@ -128,22 +128,19 @@ pub fn build_cluster(cfg: &RunConfig) -> Cluster {
         ProtoImpl::UserSpaceDedicated => cfg.nodes + 1,
         _ => cfg.nodes,
     };
-    let n_segments = total_machines.div_ceil(cfg.per_segment).max(1);
-    let segments: Vec<_> = (0..n_segments)
-        .map(|s| net.add_segment(&mut sim, &format!("seg{s}")))
-        .collect();
-    if segments.len() > 1 {
-        net.add_switch(&mut sim, &segments, "pool");
-    }
+    let topo =
+        TopologySpec::flat(total_machines, cfg.per_segment).build(&mut sim, &mut net, "pool");
+    let cost = Arc::new(CostModel::default());
     let machines: Vec<Machine> = (0..total_machines)
         .map(|i| {
-            Machine::boot(
+            Machine::boot_on(
                 &mut sim,
                 &mut net,
-                segments[(i / cfg.per_segment) as usize],
+                topo.segment_of(i),
                 MacAddr(i),
                 &format!("m{i}"),
-                CostModel::default(),
+                Arc::clone(&cost),
+                topo.lane_of(i),
             )
         })
         .collect();
@@ -195,9 +192,10 @@ where
         let worker = Arc::clone(&worker);
         let results = Arc::clone(&results);
         let proc = rts.panda().machine().proc();
+        let lane = rts.panda().machine().lane();
         cluster
             .sim
-            .spawn(proc, &format!("orca-p{node}"), move |ctx| {
+            .spawn_on_lane(lane, proc, &format!("orca-p{node}"), move |ctx| {
                 let r = worker(ctx, node, Arc::clone(&rts));
                 results.lock()[node as usize] = r;
             });

@@ -20,6 +20,7 @@
 
 pub mod ab;
 pub mod asp;
+pub mod fleet;
 pub mod harness;
 pub mod leq;
 pub mod rl;

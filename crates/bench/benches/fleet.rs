@@ -1,0 +1,113 @@
+//! Scale-study driver: boots the open-loop client fleet at scale, prints
+//! latency percentiles / throughput per backend × shard-count cell, and
+//! verifies every cell produced a bit-identical report.
+//!
+//! Run with `cargo bench -p bench --bench fleet`. Defaults to the
+//! 1024-machine kernel-stack fleet over the full {os-threads, fibers} ×
+//! shards {1, 2, auto} matrix. Flags:
+//!
+//! - `--quick` (or `SELFPERF_QUICK=1`): shorter horizon, sparser clients —
+//!   the CI `scale-smoke` configuration;
+//! - `--machines N`: world size (servers and lanes scale with it);
+//! - `--stack kernel|user`: protocol stack (user caps threads per machine
+//!   higher, so size it smaller);
+//! - `--pareto`: heavy-tailed think times instead of exponential.
+//!
+//! Exits non-zero if any matrix cell diverges from the reference run.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use apps::fleet::{run_fleet, FleetSpec, FleetStack, ThinkDist};
+use desim::Backend;
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("SELFPERF_QUICK").as_deref() == Ok("1");
+    let machines: u32 = arg_value("--machines")
+        .map(|v| v.parse().expect("--machines takes a number"))
+        .unwrap_or(1024);
+    let stack = match arg_value("--stack").as_deref() {
+        None | Some("kernel") => FleetStack::Kernel,
+        Some("user") => FleetStack::User,
+        Some(other) => {
+            eprintln!("fleet: unknown --stack {other} (kernel|user)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let servers = (machines / 64).clamp(4, 16);
+    let mut spec = FleetSpec::new(machines, servers, stack);
+    spec.lanes = (machines / 128).clamp(2, 8);
+    spec.group_every = 64;
+    if std::env::args().any(|a| a == "--pareto") {
+        spec.think = ThinkDist::Pareto;
+    }
+    if quick {
+        spec.duration = desim::ms(30);
+        spec.mean_think = desim::ms(30);
+    } else {
+        spec.duration = desim::ms(50);
+        spec.mean_think = desim::ms(25);
+    }
+
+    println!(
+        "fleet scale study: {} machines, {} servers, {} lanes, {} stack, {} think{}",
+        spec.machines,
+        spec.servers,
+        spec.lanes,
+        stack.name(),
+        match spec.think {
+            ThinkDist::Exp => "exponential",
+            ThinkDist::Pareto => "pareto",
+        },
+        if quick { " (quick)" } else { "" }
+    );
+
+    let backends = if Backend::fibers_supported() {
+        vec![Backend::OsThreads, Backend::Fibers]
+    } else {
+        vec![Backend::OsThreads]
+    };
+    let mut reference: Option<(u64, String)> = None;
+    let mut failed = false;
+    for backend in backends {
+        for shards in [1usize, 2, 0] {
+            let t0 = Instant::now();
+            let r = run_fleet(&spec, backend, shards);
+            let wall = t0.elapsed();
+            println!(
+                "  {backend} x shards {shards}: {}  [{:.1}s wall]",
+                r.summary(),
+                wall.as_secs_f64(),
+            );
+            match &reference {
+                None => reference = Some((r.result_hash(), r.summary())),
+                Some((h, s)) => {
+                    if r.result_hash() != *h {
+                        eprintln!(
+                            "fleet DIVERGED on {backend} x shards {shards}:\n  ref {s}\n  got {}",
+                            r.summary()
+                        );
+                        failed = true;
+                    }
+                }
+            }
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    let (h, _) = reference.expect("at least one cell ran");
+    println!("fleet: all cells bit-identical (hash {h:016x})");
+    ExitCode::SUCCESS
+}

@@ -12,7 +12,7 @@
 
 use std::process::ExitCode;
 
-use bench::selfperf::{self, GATE_REGRESSION_FACTOR};
+use bench::selfperf::{self, memory_baselines_for, GATE_REGRESSION_FACTOR, MEMORY_GATE_FACTOR};
 
 fn out_path() -> std::path::PathBuf {
     if let Ok(p) = std::env::var("SELFPERF_OUT") {
@@ -76,6 +76,27 @@ fn main() -> ExitCode {
         sc.speedup(),
         sc.deterministic()
     );
+    let mem = &report.memory;
+    let mb = memory_baselines_for(mem.backend);
+    if mem.available {
+        println!("\n  memory ({} boot footprint)", mem.backend);
+        for (w, baseline) in [
+            (&mem.small, mb.small_bytes_per_machine),
+            (&mem.large, mb.large_bytes_per_machine),
+        ] {
+            println!(
+                "    {:>5} machines  {:>8} KiB resident  {:>8.0} bytes/machine  \
+                 (baseline {:.0}, peak RSS {} KiB)",
+                w.machines,
+                w.rss_delta_kb,
+                w.bytes_per_machine(),
+                baseline,
+                w.vm_hwm_kb
+            );
+        }
+    } else {
+        println!("\n  memory: /proc/self/status unavailable, block skipped");
+    }
 
     let path = out_path();
     match std::fs::write(&path, report.to_json()) {
@@ -101,6 +122,23 @@ fn main() -> ExitCode {
                         per_backend.backend,
                         hot.ns_per_event(),
                         (GATE_REGRESSION_FACTOR - 1.0) * 100.0
+                    );
+                    failed = true;
+                }
+            }
+        }
+        if mem.available {
+            for (name, w, baseline) in [
+                ("small", &mem.small, mb.small_bytes_per_machine),
+                ("large", &mem.large, mb.large_bytes_per_machine),
+            ] {
+                if w.bytes_per_machine() > baseline * MEMORY_GATE_FACTOR {
+                    eprintln!(
+                        "selfperf GATE: [{}] memory/{name} at {:.0} bytes/machine, \
+                         more than {:.0}% over the {baseline:.0} baseline",
+                        mem.backend,
+                        w.bytes_per_machine(),
+                        (MEMORY_GATE_FACTOR - 1.0) * 100.0
                     );
                     failed = true;
                 }

@@ -21,21 +21,34 @@
 //!   driver is on the measured path (run with two runner threads, so the
 //!   barrier hand-off cost is visible even on a 1-core host);
 //!
+//! - **fleet**: the open-loop client fleet end to end — a kernel-stack
+//!   fleet behind a switch tree on two scheduler lanes, Poisson clients
+//!   hammering RPC servers that fan group messages out over the sequencer
+//!   protocol. The whole scale-out path (topology builder, tree switch
+//!   routing, windowed driver, RPC + group stacks, latency histogram) in
+//!   one number;
+//!
 //! Each workload runs once per available **execution backend**
 //! ([`Backend::Fibers`] where supported, and [`Backend::OsThreads`]
 //! everywhere), since the backend is exactly the thing that decides what a
 //! cross-thread hand-off costs. Virtual time is bit-identical between
 //! backends; only the wall clock differs.
 //!
-//! A fifth workload times the chaos seed sweep end-to-end, serial vs
+//! A further workload times the chaos seed sweep end-to-end, serial vs
 //! parallel, and folds every per-run trace hash into one aggregate so the
 //! two sweeps can be checked for bit-identical results.
 //!
-//! The `selfperf` bench binary runs all five and writes
+//! The report also carries a **memory** block: the resident-set growth of
+//! booting a 32- and a 1024-machine fleet world (the machine-state diet's
+//! observable), measured before any other workload warms the allocator and
+//! gated on bytes per machine.
+//!
+//! The `selfperf` bench binary runs everything and writes
 //! `BENCH_selfperf.json` at the repository root.
 
 use std::time::Instant;
 
+use apps::fleet::{build_fleet, FleetSpec, FleetStack};
 use chaos::{run_chaos, ChaosConfig, Stack};
 use desim::par::par_map;
 use desim::{Backend, LaneId, SimChannel, SimDuration, Simulation};
@@ -61,6 +74,8 @@ pub struct BackendBaselines {
     pub queue: f64,
     /// Sharded multi-segment (windowed driver) baseline.
     pub shards: f64,
+    /// Open-loop client-fleet baseline.
+    pub fleet: f64,
     /// Where the numbers come from.
     pub note: &'static str,
 }
@@ -76,13 +91,16 @@ pub fn baselines_for(backend: Backend) -> BackendBaselines {
             fanout: 1800.0,
             queue: 2000.0,
             shards: 5100.0,
+            fleet: 7300.0,
             note: "re-pinned at the 10% gate's introduction to the top of the \
                    reference container's observed envelope (medians ~1000/58/1670/1790 \
                    over 4 full runs); the old 1425.0 fanout pin plus the silent 1571.2 \
                    recording were both inside that noise band, not a real regression; \
                    shards pinned when the windowed driver landed (~2970-3900 observed; \
                    two runner threads time-slice the reference core, so barrier \
-                   hand-offs dominate and the noise band is wide)",
+                   hand-offs dominate and the noise band is wide); fleet pinned when \
+                   the open-loop client fleet landed (~4070-5760 observed, same \
+                   two-runner caveat)",
         },
         Backend::Fibers => BackendBaselines {
             backend,
@@ -91,11 +109,14 @@ pub fn baselines_for(backend: Backend) -> BackendBaselines {
             fanout: 170.0,
             queue: 110.0,
             shards: 1900.0,
+            fleet: 3000.0,
             note: "first recording, pinned when the fiber backend landed \
                    (medians ~113/54/140/85 over 4 full runs on the reference container); \
                    shards pinned when the windowed driver landed (~1280-1450 observed; \
                    two runner threads time-slice the reference core, so barrier \
-                   hand-offs dominate and the noise band is wide)",
+                   hand-offs dominate and the noise band is wide); fleet pinned when \
+                   the open-loop client fleet landed (~1710-2350 observed, same \
+                   two-runner caveat)",
         },
     }
 }
@@ -283,6 +304,156 @@ pub fn multiseg(backend: Backend, shards: usize, frames: u64) -> HotPath {
     }
 }
 
+/// The fleet spec the selfperf `fleet` hot path and memory probe share:
+/// a kernel-stack open-loop fleet behind a two-level switch tree.
+fn fleet_spec(machines: u32, servers: u32, lanes: u32) -> FleetSpec {
+    let mut spec = FleetSpec::new(machines, servers, FleetStack::Kernel);
+    spec.lanes = lanes;
+    spec
+}
+
+/// Open-loop client fleet end to end: Poisson clients over a switch tree
+/// hammering kernel-stack RPC servers (which fan every Nth request out over
+/// the group protocol), two scheduler lanes on two runner threads so the
+/// windowed driver is on the measured path. Exercises the whole scale-out
+/// stack in one number; virtual observables are pinned bit-identical by the
+/// fleet determinism tests, so only the wall clock varies here.
+pub fn fleet(backend: Backend, machines: u32, duration_ms: u64) -> HotPath {
+    let mut spec = fleet_spec(machines, 4, 2);
+    spec.duration = desim::ms(duration_ms);
+    spec.mean_think = desim::ms(duration_ms / 10);
+    // Boot outside the timed region: thread creation cost scales with the
+    // world, the steady-state event grind is what this number tracks (the
+    // boot footprint has its own memory block).
+    let world = build_fleet(&spec, backend, 2);
+    let t0 = Instant::now();
+    let report = world.run();
+    HotPath {
+        events: report.sim_events,
+        wall_ns: t0.elapsed().as_nanos() as u64,
+    }
+}
+
+/// A memory-gate measurement over this factor times its recorded baseline
+/// fails the `SELFPERF_GATE=1` run. Looser than the wall-clock gate:
+/// resident-set deltas ride on allocator arena behavior, which rounds in
+/// page-sized steps.
+pub const MEMORY_GATE_FACTOR: f64 = 1.25;
+
+/// Resident footprint of one booted fleet world.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorldFootprint {
+    /// Machines in the world.
+    pub machines: u32,
+    /// VmRSS growth across the boot, KiB.
+    pub rss_delta_kb: u64,
+    /// Process peak RSS (VmHWM) right after the boot, KiB.
+    pub vm_hwm_kb: u64,
+}
+
+impl WorldFootprint {
+    /// Resident bytes per booted machine.
+    pub fn bytes_per_machine(&self) -> f64 {
+        self.rss_delta_kb as f64 * 1024.0 / self.machines.max(1) as f64
+    }
+}
+
+/// The memory block of the report: boot-footprint of a 32- and a
+/// 1024-machine fleet world on one backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryUse {
+    /// The backend the worlds booted on.
+    pub backend: Backend,
+    /// Whether `/proc/self/status` was readable; when `false` the numbers
+    /// are zero and the gate skips this block.
+    pub available: bool,
+    /// The 32-machine world.
+    pub small: WorldFootprint,
+    /// The 1024-machine world.
+    pub large: WorldFootprint,
+}
+
+/// Recorded bytes-per-machine expectations for the memory gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryBaselines {
+    /// The backend the numbers were recorded on.
+    pub backend: Backend,
+    /// Bytes per machine of the 32-machine world.
+    pub small_bytes_per_machine: f64,
+    /// Bytes per machine of the 1024-machine world.
+    pub large_bytes_per_machine: f64,
+    /// Where the numbers come from.
+    pub note: &'static str,
+}
+
+/// The pinned memory baselines for `backend`, recorded on the 1-core
+/// reference container with the probe running before any other workload.
+pub fn memory_baselines_for(backend: Backend) -> MemoryBaselines {
+    match backend {
+        Backend::OsThreads => MemoryBaselines {
+            backend,
+            small_bytes_per_machine: 70_000.0,
+            large_bytes_per_machine: 45_000.0,
+            note: "pinned when the machine-state diet landed (46850/31820 \
+                   observed, stable across runs); os-threads pays real thread \
+                   stacks (two-plus per machine), only the touched pages count \
+                   toward RSS",
+        },
+        Backend::Fibers => MemoryBaselines {
+            backend,
+            small_bytes_per_machine: 45_000.0,
+            large_bytes_per_machine: 24_000.0,
+            note: "pinned when the machine-state diet landed (30080/15590 \
+                   observed, stable across runs); fiber stacks are lazily \
+                   mapped, so the boot footprint is dominated by machine state \
+                   proper (ifaces, routes, channels)",
+        },
+    }
+}
+
+fn proc_status_kb(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with(field))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+fn world_footprint(backend: Backend, machines: u32, servers: u32, lanes: u32) -> WorldFootprint {
+    let mut spec = fleet_spec(machines, servers, lanes);
+    // Effectively boot-only: the horizon closes before any client finishes
+    // its first think-time sleep, so the run just tears the world down
+    // cleanly (blocked server daemons are reaped by the simulation drop,
+    // same as at the end of a real fleet run).
+    spec.duration = desim::us(100);
+    let before = proc_status_kb("VmRSS:").unwrap_or(0);
+    let world = build_fleet(&spec, backend, 1);
+    let after = proc_status_kb("VmRSS:").unwrap_or(0);
+    let hwm = proc_status_kb("VmHWM:").unwrap_or(0);
+    let _ = world.run();
+    WorldFootprint {
+        machines,
+        rss_delta_kb: after.saturating_sub(before),
+        vm_hwm_kb: hwm,
+    }
+}
+
+/// Measures the boot footprint of a 32- and a 1024-machine kernel fleet on
+/// `backend`. Run this before the wall-clock workloads: a warm allocator
+/// can hide growth behind already-resident arenas.
+pub fn measure_memory(backend: Backend) -> MemoryUse {
+    let available = proc_status_kb("VmRSS:").is_some();
+    MemoryUse {
+        backend,
+        available,
+        small: world_footprint(backend, 32, 4, 2),
+        large: world_footprint(backend, 1024, 16, 8),
+    }
+}
+
 /// Runs `measure` `reps` times and returns the run with the median wall
 /// time (robust against one-off scheduling noise).
 pub fn median_of<F: FnMut() -> HotPath>(reps: usize, mut measure: F) -> HotPath {
@@ -306,12 +477,14 @@ pub struct BackendHotPaths {
     pub queue: HotPath,
     /// Sharded multi-segment (windowed driver) hot path.
     pub shards: HotPath,
+    /// Open-loop client-fleet hot path.
+    pub fleet: HotPath,
 }
 
 impl BackendHotPaths {
-    /// The five measurements with their names and recorded baselines, for
+    /// The six measurements with their names and recorded baselines, for
     /// print and gate loops.
-    pub fn named(&self) -> [(&'static str, HotPath, f64); 5] {
+    pub fn named(&self) -> [(&'static str, HotPath, f64); 6] {
         let b = baselines_for(self.backend);
         [
             ("pingpong", self.pingpong, b.pingpong),
@@ -319,6 +492,7 @@ impl BackendHotPaths {
             ("fanout", self.fanout, b.fanout),
             ("queue", self.queue, b.queue),
             ("shards", self.shards, b.shards),
+            ("fleet", self.fleet, b.fleet),
         ]
     }
 }
@@ -420,6 +594,8 @@ pub struct SelfPerfReport {
     pub parallel: SweepPerf,
     /// Intra-run windowed-driver scaling on the process-default backend.
     pub shard_scaling: ShardScaling,
+    /// Boot footprint of the fleet worlds on the process-default backend.
+    pub memory: MemoryUse,
 }
 
 impl SelfPerfReport {
@@ -451,21 +627,34 @@ impl SelfPerfReport {
         fn backend_block(b: &BackendHotPaths) -> String {
             format!(
                 "\"{}\": {{\n      \"pingpong\": {},\n      \"sleepstorm\": {},\n      \
-                 \"fanout\": {},\n      \"queue\": {},\n      \"shards\": {}\n    }}",
+                 \"fanout\": {},\n      \"queue\": {},\n      \"shards\": {},\n      \
+                 \"fleet\": {}\n    }}",
                 b.backend,
                 hot(&b.pingpong),
                 hot(&b.sleepstorm),
                 hot(&b.fanout),
                 hot(&b.queue),
-                hot(&b.shards)
+                hot(&b.shards),
+                hot(&b.fleet)
             )
         }
         fn baseline_block(b: &BackendBaselines) -> String {
             format!(
                 "\"{}\": {{\"pingpong\": {:.1}, \"sleepstorm\": {:.1}, \
-                 \"fanout\": {:.1}, \"queue\": {:.1}, \"shards\": {:.1},\n      \
-                 \"note\": \"{}\"}}",
-                b.backend, b.pingpong, b.sleepstorm, b.fanout, b.queue, b.shards, b.note
+                 \"fanout\": {:.1}, \"queue\": {:.1}, \"shards\": {:.1}, \
+                 \"fleet\": {:.1},\n      \"note\": \"{}\"}}",
+                b.backend, b.pingpong, b.sleepstorm, b.fanout, b.queue, b.shards, b.fleet, b.note
+            )
+        }
+        fn world(w: &WorldFootprint, baseline: f64) -> String {
+            format!(
+                "{{\"machines\": {}, \"rss_delta_kb\": {}, \"vm_hwm_kb\": {}, \
+                 \"bytes_per_machine\": {:.0}, \"baseline_bytes_per_machine\": {:.0}}}",
+                w.machines,
+                w.rss_delta_kb,
+                w.vm_hwm_kb,
+                w.bytes_per_machine(),
+                baseline
             )
         }
         fn sweep(s: &SweepPerf) -> String {
@@ -485,12 +674,16 @@ impl SelfPerfReport {
             .iter()
             .map(|b| baseline_block(&baselines_for(b.backend)))
             .collect();
+        let mb = memory_baselines_for(self.memory.backend);
         format!(
-            "{{\n  \"schema\": \"selfperf-v4\",\n  \"generated_by\": \
+            "{{\n  \"schema\": \"selfperf-v5\",\n  \"generated_by\": \
              \"cargo bench -p bench --bench selfperf\",\n  \"quick\": {},\n  \
              \"host_cores\": {},\n  \"gate_regression_factor\": {:.2},\n  \
              \"hot_path\": {{\n    {}\n  }},\n  \"baseline_ns_per_event\": {{\n    \
-             {}\n  }},\n  \"shard_scaling\": {{\n    \"serial\": {},\n    \
+             {}\n  }},\n  \"memory\": {{\n    \"backend\": \"{}\",\n    \
+             \"available\": {},\n    \"gate_factor\": {:.2},\n    \
+             \"small\": {},\n    \"large\": {},\n    \"note\": \"{}\"\n  }},\n  \
+             \"shard_scaling\": {{\n    \"serial\": {},\n    \
              \"parallel\": {},\n    \"shards\": {},\n    \"speedup\": {:.2},\n    \
              \"deterministic\": {}\n  }},\n  \"sweep\": {{\n    \"serial\": {},\n    \
              \"parallel\": {},\n    \"speedup\": {:.2},\n    \
@@ -500,6 +693,12 @@ impl SelfPerfReport {
             GATE_REGRESSION_FACTOR,
             hot_blocks.join(",\n    "),
             baseline_blocks.join(",\n    "),
+            self.memory.backend,
+            self.memory.available,
+            MEMORY_GATE_FACTOR,
+            world(&self.memory.small, mb.small_bytes_per_machine),
+            world(&self.memory.large, mb.large_bytes_per_machine),
+            mb.note,
             hot(&self.shard_scaling.serial),
             hot(&self.shard_scaling.parallel),
             self.shard_scaling.shards,
@@ -523,14 +722,14 @@ pub fn measured_backends() -> Vec<Backend> {
     }
 }
 
-/// Measures the four hot paths on one backend.
+/// Measures the hot paths on one backend.
 pub fn measure_backend(backend: Backend, quick: bool) -> BackendHotPaths {
     // Median-of-3 even on the quick CI workload: the 10% gate cannot
     // tolerate single-run cold-start outliers.
-    let (rounds, wakes, frames, churn, xframes, reps) = if quick {
-        (10_000, 20_000, 200, 500, 100, 3)
+    let (rounds, wakes, frames, churn, xframes, fleet_m, fleet_ms, reps) = if quick {
+        (10_000, 20_000, 200, 500, 100, 48, 20, 3)
     } else {
-        (100_000, 200_000, 2_000, 5_000, 1_000, 3)
+        (100_000, 200_000, 2_000, 5_000, 1_000, 96, 60, 3)
     };
     BackendHotPaths {
         backend,
@@ -541,6 +740,7 @@ pub fn measure_backend(backend: Backend, quick: bool) -> BackendHotPaths {
         // Two runner threads even on a 1-core host, so the windowed
         // driver's barrier hand-off is always on the measured path.
         shards: median_of(reps, || multiseg(backend, 2, xframes)),
+        fleet: median_of(reps, || fleet(backend, fleet_m, fleet_ms)),
     }
 }
 
@@ -564,6 +764,9 @@ pub fn measure_shard_scaling(quick: bool) -> ShardScaling {
 /// Runs the full self-measurement. `quick` shrinks every workload for CI.
 pub fn run(quick: bool) -> SelfPerfReport {
     let seeds = if quick { 8 } else { 50 };
+    // Memory first: the wall-clock workloads would warm the allocator and
+    // hide the worlds' growth behind already-resident arenas.
+    let memory = measure_memory(Backend::default_backend());
     SelfPerfReport {
         quick,
         host_cores: desim::par::default_jobs(),
@@ -574,6 +777,7 @@ pub fn run(quick: bool) -> SelfPerfReport {
         serial: chaos_sweep_perf(seeds, 1),
         parallel: chaos_sweep_perf(seeds, 0),
         shard_scaling: measure_shard_scaling(quick),
+        memory,
     }
 }
 
@@ -671,6 +875,7 @@ mod tests {
                     fanout: hot(3),
                     queue: hot(4),
                     shards: hot(9),
+                    fleet: hot(11),
                 },
                 BackendHotPaths {
                     backend: Backend::OsThreads,
@@ -679,6 +884,7 @@ mod tests {
                     fanout: hot(7),
                     queue: hot(8),
                     shards: hot(10),
+                    fleet: hot(12),
                 },
             ],
             serial: SweepPerf {
@@ -701,15 +907,51 @@ mod tests {
                 },
                 shards: 4,
             },
+            memory: MemoryUse {
+                backend: Backend::Fibers,
+                available: true,
+                small: WorldFootprint {
+                    machines: 32,
+                    rss_delta_kb: 512,
+                    vm_hwm_kb: 40_000,
+                },
+                large: WorldFootprint {
+                    machines: 1024,
+                    rss_delta_kb: 8_192,
+                    vm_hwm_kb: 50_000,
+                },
+            },
         };
         let json = report.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert!(json.contains("\"schema\": \"selfperf-v4\""));
+        assert!(json.contains("\"schema\": \"selfperf-v5\""));
         assert!(json.contains("\"fibers\""));
         assert!(json.contains("\"os-threads\""));
         assert!(json.contains("\"gate_regression_factor\": 1.10"));
+        assert!(json.contains("\"fleet\""));
+        assert!(json.contains("\"memory\""));
+        assert!(json.contains("\"bytes_per_machine\": 16384"));
         assert!(json.contains("\"shard_scaling\""));
         assert!(json.contains("\"speedup\": 2.00"));
         assert!(json.contains("\"deterministic\": true"));
+    }
+
+    #[test]
+    fn fleet_hot_path_processes_events() {
+        let h = fleet(Backend::OsThreads, 24, 5);
+        assert!(h.events > 0, "fleet events: {}", h.events);
+        assert!(h.ns_per_event() > 0.0);
+    }
+
+    #[test]
+    fn memory_probe_reports_growth() {
+        let m = measure_memory(Backend::default_backend());
+        if m.available {
+            // The 1024-machine world must cost real resident memory, and
+            // per-machine cost must not explode versus the small world
+            // (the diet's whole point is sublinear shared state).
+            assert!(m.large.rss_delta_kb > 0, "large world grew: {m:?}");
+            assert!(m.large.vm_hwm_kb >= m.large.rss_delta_kb);
+        }
     }
 }

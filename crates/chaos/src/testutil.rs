@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use amoeba::{CostModel, Machine};
 use desim::Simulation;
-use ethernet::{MacAddr, NetConfig, Network};
+use ethernet::{MacAddr, NetConfig, Network, TopologySpec};
 use panda::{KernelSpacePanda, Panda, PandaConfig, UserSpacePanda};
 
 /// Which Panda implementation a world runs.
@@ -59,16 +59,21 @@ pub fn boot_machines(sim: &mut Simulation, n: u32) -> World {
 /// Boots `n` machines with an explicit cost model.
 pub fn boot_machines_with(sim: &mut Simulation, n: u32, cost: CostModel) -> World {
     let mut net = Network::new(NetConfig::default());
-    let seg = net.add_segment(sim, "seg0");
+    // One leaf holding every station: the single-segment world, built
+    // through the shared topology builder (placement identical to the
+    // historical hand-rolled `add_segment("seg0")`).
+    let topo = TopologySpec::flat(n, n.max(1)).build(sim, &mut net, "pool");
+    let cost = Arc::new(cost);
     let machines = (0..n)
         .map(|i| {
-            Machine::boot(
+            Machine::boot_on(
                 sim,
                 &mut net,
-                seg,
+                topo.segment_of(i),
                 MacAddr(i),
                 &format!("m{i}"),
-                cost.clone(),
+                Arc::clone(&cost),
+                topo.lane_of(i),
             )
         })
         .collect();

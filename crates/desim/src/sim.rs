@@ -381,6 +381,21 @@ impl Simulation {
             .add_processor(name, self.default_switch_cost)
     }
 
+    /// Adds a processor with an explicit context-switch cost on the given
+    /// lane (the lane-aware form of
+    /// [`Simulation::add_processor_with_switch_cost`]). Processor ids are
+    /// per-lane indices: the returned id is only meaningful together with
+    /// `lane` and must be paired with [`Simulation::spawn_on_lane`] /
+    /// [`Simulation::spawn_daemon_on_lane`] on the same lane.
+    pub fn add_processor_with_switch_cost_on(
+        &mut self,
+        lane: LaneId,
+        name: &str,
+        cost: SimDuration,
+    ) -> ProcId {
+        self.lane_core(lane).add_processor(name, cost)
+    }
+
     /// Spawns a simulated thread on a processor of the given lane.
     ///
     /// The returned handle must only be joined from the same lane.

@@ -14,8 +14,10 @@
 
 mod frame;
 mod network;
+mod topology;
 
 pub use frame::{
     Dest, Frame, MacAddr, McastAddr, FRAME_OVERHEAD_BYTES, MAX_PAYLOAD_BYTES, MIN_PAYLOAD_BYTES,
 };
 pub use network::{FaultState, GilbertElliott, NetConfig, Network, Nic, SegmentId, SegmentStats};
+pub use topology::{Topology, TopologySpec};

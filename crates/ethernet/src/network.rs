@@ -33,12 +33,14 @@
 //! topology faults ([`FaultState::crash`], [`FaultState::partition`]) remain
 //! bit-identical across shard counts. Two knobs mutate shared state per
 //! carried frame and are therefore restricted to single-lane topologies:
-//! [`FaultState::gilbert`] and [`FaultState::force_drop_next`]. With
+//! [`FaultState::gilbert`] and [`FaultState::force_drop_next`]. The
+//! restriction is enforced: a segment daemon that sees either knob active
+//! on a network whose segments span lanes panics with a diagnostic. With
 //! multiple lanes, set fault knobs before the run starts (or from a thread
 //! on the same lane as the affected segment); mid-run mutation from another
 //! lane races with that lane's window execution.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -127,6 +129,11 @@ pub struct FaultState {
     pub rx_loss_prob: f64,
     /// Unconditionally drop this many upcoming frames (wire-level), then
     /// resume normal behaviour. Useful for targeted recovery tests.
+    ///
+    /// **Single-lane only.** The countdown is shared mutable state
+    /// decremented per carried frame; on a network whose segments span
+    /// scheduler lanes the decrements race between lanes, so using the knob
+    /// there panics at the first carried frame (see the module docs).
     pub force_drop_next: u64,
     /// Probability that a delivered frame is delivered *twice* to the same
     /// receiver (duplicate generation, e.g. a confused repeater).
@@ -139,6 +146,11 @@ pub struct FaultState {
     /// treated as `1`.
     pub reorder_span: u64,
     /// Optional burst-loss channel model layered over `wire_loss_prob`.
+    ///
+    /// **Single-lane only.** The Gilbert–Elliott channel state advances per
+    /// carried frame in shared mutable state; on a multi-lane network the
+    /// transitions race between lanes, so activating the model there panics
+    /// at the first carried frame (see the module docs).
     pub gilbert: Option<GilbertElliott>,
     /// Severed links: frames between a partitioned pair are dropped at the
     /// receiver side, in both directions. Keyed by normalized MAC pairs.
@@ -281,6 +293,12 @@ struct SegmentInner {
     lane: LaneId,
     /// The segment daemon's processor (cross-lane injectors ride on it).
     proc: ProcId,
+    /// Serialization rate of this medium (per-segment: a backbone segment
+    /// may be faster than the default leaf bandwidth).
+    ns_per_byte: u64,
+    /// Multicast membership count per group on this segment (kept by
+    /// join/leave so switch trees can prune floods to memberless subtrees).
+    mcast_members: HashMap<McastAddr, u32>,
 }
 
 struct NetInner {
@@ -290,6 +308,11 @@ struct NetInner {
     /// Minimum delay over all cross-lane switch hops built so far (the
     /// conservative lookahead this network contributes to the simulation).
     min_cross_latency: Option<SimDuration>,
+    /// Network-wide multicast membership counts (for switch-tree pruning).
+    mcast_total: HashMap<McastAddr, u32>,
+    /// True once segments span more than one scheduler lane; gates the
+    /// fault knobs that mutate shared state per carried frame.
+    multi_lane: bool,
 }
 
 impl NetInner {
@@ -351,6 +374,8 @@ impl Network {
                 segments: Vec::new(),
                 mac_home: Vec::new(),
                 min_cross_latency: None,
+                mcast_total: HashMap::new(),
+                multi_lane: false,
             })),
             faults: Arc::new(Mutex::new(FaultState::default())),
         }
@@ -382,11 +407,29 @@ impl Network {
     /// under the windowed driver; connect them with [`Network::add_switch`],
     /// which builds cross-lane links automatically.
     pub fn add_segment_on(&mut self, sim: &mut Simulation, name: &str, lane: LaneId) -> SegmentId {
+        self.add_segment_on_with_bandwidth(sim, name, lane, self.cfg.bandwidth_bps)
+    }
+
+    /// Adds a segment with an explicit bandwidth overriding
+    /// [`NetConfig::bandwidth_bps`] — e.g. a fast backbone segment behind
+    /// which slow leaf segments aggregate in a switch tree.
+    pub fn add_segment_on_with_bandwidth(
+        &mut self,
+        sim: &mut Simulation,
+        name: &str,
+        lane: LaneId,
+        bandwidth_bps: u64,
+    ) -> SegmentId {
         let tx = SimChannel::new();
         let proc = sim.add_processor_on(lane, &format!("net-{name}"));
         let id = {
             let mut inner = self.inner.lock();
             let id = SegmentId(inner.segments.len());
+            if let Some(first) = inner.segments.first() {
+                if first.lane != lane {
+                    inner.multi_lane = true;
+                }
+            }
             inner.segments.push(SegmentInner {
                 name: name.to_owned(),
                 tx: tx.clone(),
@@ -395,6 +438,8 @@ impl Network {
                 held: Vec::new(),
                 lane,
                 proc,
+                ns_per_byte: 8_000_000_000 / bandwidth_bps,
+                mcast_members: HashMap::new(),
             });
             id
         };
@@ -526,6 +571,98 @@ impl Network {
         }
     }
 
+    /// Connects `leaves` to a shared `uplink` segment with an edge switch —
+    /// the building block of a two-level switch tree: many leaf segments
+    /// aggregate behind one (usually faster) backbone segment, and several
+    /// edge switches may share that backbone. Unlike [`Network::add_switch`],
+    /// any number of edge switches can coexist on one network.
+    ///
+    /// Forwarding is routed, not flooded: a unicast frame from a leaf goes
+    /// to the sibling leaf that is home to its destination, or up to the
+    /// backbone otherwise; a frame arriving on the backbone is forwarded
+    /// down only if its destination lives behind one of this switch's
+    /// leaves. Multicast floods are pruned: a leaf receives a group frame
+    /// only if a member is attached there, and the backbone only if members
+    /// exist beyond this switch's leaves (broadcast is never pruned).
+    ///
+    /// Stations must attach either to a leaf or to the backbone itself —
+    /// the tree is two-level (edge switches never cascade). Every port runs
+    /// on its segment's lane; hops onto another lane ride cross-lane links
+    /// of delay [`NetConfig::switch_latency`], which therefore must be
+    /// positive.
+    pub fn add_switch_with_uplink(
+        &mut self,
+        sim: &mut Simulation,
+        leaves: &[SegmentId],
+        uplink: SegmentId,
+        name: &str,
+    ) {
+        assert!(
+            !self.cfg.switch_latency.is_zero(),
+            "an edge switch needs a positive switch_latency (it is the lookahead)"
+        );
+        assert!(
+            !leaves.contains(&uplink),
+            "the uplink segment cannot also be a leaf of the same switch"
+        );
+        let mut ports: Vec<SegmentId> = leaves.to_vec();
+        ports.push(uplink);
+        let mut any_cross = false;
+        for (i, &seg) in ports.iter().enumerate() {
+            let port_rx = self.add_switch_port(seg);
+            let (my_lane, my_proc) = {
+                let inner = self.inner.lock();
+                (inner.segments[seg.0].lane, inner.segments[seg.0].proc)
+            };
+            let mut links: Vec<(SegmentId, PortLink)> = Vec::new();
+            for (j, &dst) in ports.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let (dst_lane, dst_proc, dst_tx) = {
+                    let inner = self.inner.lock();
+                    let s = &inner.segments[dst.0];
+                    (s.lane, s.proc, s.tx.clone())
+                };
+                let link = if dst_lane == my_lane {
+                    PortLink::Local(dst_tx)
+                } else {
+                    any_cross = true;
+                    PortLink::Cross(sim.cross_link(
+                        &format!("sw-{name}-{seg}-{dst}"),
+                        self.cfg.switch_latency,
+                        my_lane,
+                        dst_lane,
+                        dst_proc,
+                        dst_tx,
+                    ))
+                };
+                links.push((dst, link));
+            }
+            let is_uplink_port = seg == uplink;
+            let my_leaves: Vec<SegmentId> = leaves.to_vec();
+            let net = self.clone();
+            sim.spawn_daemon_on_lane(my_lane, my_proc, &format!("sw-{name}-{seg}"), move |ctx| {
+                net.tree_switch_port_daemon(
+                    ctx,
+                    seg,
+                    is_uplink_port,
+                    &my_leaves,
+                    &links,
+                    uplink,
+                    port_rx,
+                );
+            });
+        }
+        if any_cross {
+            let mut inner = self.inner.lock();
+            inner.min_cross_latency = Some(match inner.min_cross_latency {
+                Some(cur) => cur.min(self.cfg.switch_latency),
+                None => self.cfg.switch_latency,
+            });
+        }
+    }
+
     /// Attaches a promiscuous capture port for a switch to `seg` and returns
     /// its receive queue.
     fn add_switch_port(&mut self, seg: SegmentId) -> SimChannel<Frame> {
@@ -571,7 +708,13 @@ impl Network {
     }
 
     fn segment_daemon(&self, ctx: &Ctx, id: SegmentId) {
-        let tx = self.inner.lock().segments[id.0].tx.clone();
+        // Topology is static once the run starts, so the medium rate and the
+        // lane span can be cached across the daemon's lifetime.
+        let (tx, ns_per_byte, multi_lane) = {
+            let inner = self.inner.lock();
+            let seg = &inner.segments[id.0];
+            (seg.tx.clone(), seg.ns_per_byte, inner.multi_lane)
+        };
         while let Some(frame) = tx.recv(ctx) {
             // A crashed sender's NIC transmits nothing: the frame vanishes
             // before it touches the medium (no busy time, no wire drop).
@@ -580,7 +723,7 @@ impl Network {
                 ctx.trace_instant(Layer::Net, "down_drop", &[("src", u64::from(frame.src.0))]);
                 continue;
             }
-            let wire = self.wire_time(&frame);
+            let wire = SimDuration::from_nanos(frame.wire_bytes() as u64 * ns_per_byte);
             ctx.trace_emit(
                 Layer::Net,
                 Phase::Begin,
@@ -595,11 +738,26 @@ impl Network {
             let dropped = {
                 let mut faults = self.faults.lock();
                 if faults.force_drop_next > 0 {
+                    assert!(
+                        !multi_lane,
+                        "FaultState::force_drop_next is restricted to single-lane networks: \
+                         it decrements shared fault state per carried frame, which races \
+                         between lanes under the windowed driver; keep every segment on one \
+                         lane (LaneId::ZERO) to use it"
+                    );
                     faults.force_drop_next -= 1;
                     true
                 } else {
                     let mut p = faults.wire_loss_prob;
                     if let Some(ge) = faults.gilbert.as_mut() {
+                        assert!(
+                            !multi_lane,
+                            "FaultState::gilbert (Gilbert–Elliott burst loss) is restricted \
+                             to single-lane networks: the channel state advances per carried \
+                             frame in shared fault state, which races between lanes under the \
+                             windowed driver; keep every segment on one lane (LaneId::ZERO) \
+                             to use it"
+                        );
                         // The channel state advances once per frame carried
                         // on the medium.
                         let flip = if ge.bad {
@@ -913,6 +1071,146 @@ impl Network {
             }
         }
     }
+    /// Port daemon of an edge switch (see [`Network::add_switch_with_uplink`]).
+    /// Runs on its segment's lane; same-lane hops sleep then enqueue
+    /// (classic store-and-forward), cross-lane hops ride a link that adds
+    /// the same latency without blocking the port.
+    #[allow(clippy::too_many_arguments)]
+    fn tree_switch_port_daemon(
+        &self,
+        ctx: &Ctx,
+        my_segment: SegmentId,
+        is_uplink_port: bool,
+        leaves: &[SegmentId],
+        links: &[(SegmentId, PortLink)],
+        uplink: SegmentId,
+        port_rx: SimChannel<Frame>,
+    ) {
+        while let Some(frame) = port_rx.recv(ctx) {
+            let Some(src) = self.inner.lock().home_of(frame.src) else {
+                continue;
+            };
+            // Inbound gate: forward only frames whose source lives on this
+            // port's side of the switch — everything else is a copy this
+            // switch (or a sibling on the backbone) injected itself.
+            let inbound = if is_uplink_port {
+                !leaves.contains(&src)
+            } else {
+                src == my_segment
+            };
+            if !inbound {
+                continue;
+            }
+            match frame.dst {
+                Dest::Unicast(mac) => {
+                    let Some(dst) = self.inner.lock().home_of(mac) else {
+                        continue;
+                    };
+                    if dst == my_segment {
+                        continue; // local traffic: no forward
+                    }
+                    let out = if leaves.contains(&dst) {
+                        links.iter().find(|(s, _)| *s == dst)
+                    } else if !is_uplink_port {
+                        // Not behind this switch: route toward the backbone.
+                        links.iter().find(|(s, _)| *s == uplink)
+                    } else {
+                        None // backbone-side destination already saw it there
+                    };
+                    let Some((_, link)) = out else { continue };
+                    ctx.trace_cost(Layer::Net, "switch_hop", self.cfg.switch_latency);
+                    match link {
+                        PortLink::Local(tx) => {
+                            ctx.sleep(self.cfg.switch_latency);
+                            let _ = tx.send(ctx, frame);
+                        }
+                        PortLink::Cross(x) => x.send(ctx, frame.clone()),
+                    }
+                }
+                Dest::Multicast(g) => {
+                    self.tree_flood(ctx, &frame, links, leaves, uplink, is_uplink_port, Some(g));
+                }
+                Dest::Broadcast => {
+                    self.tree_flood(ctx, &frame, links, leaves, uplink, is_uplink_port, None);
+                }
+            }
+        }
+    }
+
+    /// Floods a frame out of an edge-switch port, pruning multicast to the
+    /// ports that actually lead to members. Cross-lane sends go first (the
+    /// link stamps arrival `switch_latency` from now), then the port sleeps
+    /// the hop latency and enqueues on same-lane segments in one batch.
+    #[allow(clippy::too_many_arguments)]
+    fn tree_flood(
+        &self,
+        ctx: &Ctx,
+        frame: &Frame,
+        links: &[(SegmentId, PortLink)],
+        leaves: &[SegmentId],
+        uplink: SegmentId,
+        is_uplink_port: bool,
+        group: Option<McastAddr>,
+    ) {
+        let targets: Vec<&PortLink> = {
+            let inner = self.inner.lock();
+            links
+                .iter()
+                .filter(|(s, _)| match group {
+                    None => true,
+                    Some(g) if *s == uplink && !is_uplink_port => {
+                        // Up the tree only if members exist beyond our leaves.
+                        let under: u32 = leaves
+                            .iter()
+                            .map(|l| {
+                                inner.segments[l.0]
+                                    .mcast_members
+                                    .get(&g)
+                                    .copied()
+                                    .unwrap_or(0)
+                            })
+                            .sum();
+                        inner.mcast_total.get(&g).copied().unwrap_or(0) > under
+                    }
+                    Some(g) => {
+                        inner.segments[s.0]
+                            .mcast_members
+                            .get(&g)
+                            .copied()
+                            .unwrap_or(0)
+                            > 0
+                    }
+                })
+                .map(|(_, l)| l)
+                .collect()
+        };
+        if targets.is_empty() {
+            return;
+        }
+        ctx.trace_cost(Layer::Net, "switch_hop", self.cfg.switch_latency);
+        let mut any_local = false;
+        for link in &targets {
+            if let PortLink::Cross(x) = link {
+                x.send(ctx, frame.clone());
+            } else {
+                any_local = true;
+            }
+        }
+        if any_local {
+            ctx.sleep(self.cfg.switch_latency);
+            let mut wakes: Vec<PendingWake> = Vec::new();
+            for link in &targets {
+                if let PortLink::Local(tx) = link {
+                    if let Ok(Some(w)) = tx.send_deferred(frame.clone()) {
+                        wakes.push(w);
+                    }
+                }
+            }
+            if !wakes.is_empty() {
+                ctx.commit_wakes(wakes);
+            }
+        }
+    }
 }
 
 /// One forwarding edge of a cross-lane switch port.
@@ -985,21 +1283,43 @@ impl Nic {
     /// Subscribes this NIC to a hardware multicast group.
     pub fn join_group(&self, group: McastAddr) {
         let mut inner = self.net.lock();
-        let seg = &mut inner.segments[self.segment.0];
-        for a in &mut seg.attachments {
-            if a.mac == Some(self.mac) {
-                a.groups.insert(group);
+        let mut joined = false;
+        {
+            let seg = &mut inner.segments[self.segment.0];
+            for a in &mut seg.attachments {
+                if a.mac == Some(self.mac) {
+                    joined |= a.groups.insert(group);
+                }
             }
+            if joined {
+                *seg.mcast_members.entry(group).or_insert(0) += 1;
+            }
+        }
+        if joined {
+            *inner.mcast_total.entry(group).or_insert(0) += 1;
         }
     }
 
     /// Unsubscribes this NIC from a multicast group.
     pub fn leave_group(&self, group: McastAddr) {
         let mut inner = self.net.lock();
-        let seg = &mut inner.segments[self.segment.0];
-        for a in &mut seg.attachments {
-            if a.mac == Some(self.mac) {
-                a.groups.remove(&group);
+        let mut left = false;
+        {
+            let seg = &mut inner.segments[self.segment.0];
+            for a in &mut seg.attachments {
+                if a.mac == Some(self.mac) {
+                    left |= a.groups.remove(&group);
+                }
+            }
+            if left {
+                if let Some(n) = seg.mcast_members.get_mut(&group) {
+                    *n = n.saturating_sub(1);
+                }
+            }
+        }
+        if left {
+            if let Some(n) = inner.mcast_total.get_mut(&group) {
+                *n = n.saturating_sub(1);
             }
         }
     }

@@ -3,7 +3,9 @@
 
 use bytes::Bytes;
 use desim::{us, SimChannel, Simulation};
-use ethernet::{Dest, MacAddr, McastAddr, NetConfig, Network, FRAME_OVERHEAD_BYTES};
+use ethernet::{
+    Dest, GilbertElliott, MacAddr, McastAddr, NetConfig, Network, FRAME_OVERHEAD_BYTES,
+};
 
 fn payload(n: usize) -> Bytes {
     Bytes::from(vec![0xabu8; n])
@@ -279,4 +281,167 @@ fn utilization_reflects_busy_medium() {
     let u = stats.utilization(elapsed);
     assert!(u > 0.99, "back-to-back full frames saturate the wire: {u}");
     let _: SimChannel<u8> = SimChannel::new(); // keep import used
+}
+
+/// Two edge switches sharing a backbone: `a` on a leaf behind switch A,
+/// `b` on a leaf behind switch B, `srv` directly on the backbone.
+fn tree(
+    sim: &mut Simulation,
+    net: &mut Network,
+) -> (
+    ethernet::SegmentId,
+    ethernet::SegmentId,
+    ethernet::SegmentId,
+) {
+    let s0 = net.add_segment(sim, "s0");
+    let s1 = net.add_segment(sim, "s1");
+    let bb = net.add_segment(sim, "backbone");
+    net.add_switch_with_uplink(sim, &[s0], bb, "swA");
+    net.add_switch_with_uplink(sim, &[s1], bb, "swB");
+    (s0, s1, bb)
+}
+
+#[test]
+fn tree_switch_routes_unicast_between_edge_switches() {
+    let mut sim = Simulation::new(1);
+    let mut net = Network::new(NetConfig::default());
+    let (s0, s1, bb) = tree(&mut sim, &mut net);
+    let a = net.attach(MacAddr(0), s0);
+    let b = net.attach(MacAddr(1), s1);
+    let srv = net.attach(MacAddr(2), bb);
+    let m = sim.add_processor("m");
+    let a2 = a.clone();
+    let b2 = b.clone();
+    let srv2 = srv.clone();
+    sim.spawn(m, "send", move |ctx| {
+        // Leaf → leaf crosses both switches and the backbone.
+        a2.send(ctx, Dest::Unicast(MacAddr(1)), payload(100));
+    });
+    let h = sim.spawn(m, "check", move |ctx| {
+        let f = b.rx().recv(ctx).expect("leaf-to-leaf across the backbone");
+        assert_eq!(f.src, MacAddr(0));
+        // Leaf → backbone station: one switch hop up.
+        b2.send(ctx, Dest::Unicast(MacAddr(2)), payload(50));
+        let f = srv.rx().recv(ctx).expect("leaf to backbone station");
+        assert_eq!(f.src, MacAddr(1));
+        // Backbone station → leaf: one switch hop down.
+        srv2.send(ctx, Dest::Unicast(MacAddr(0)), payload(25));
+        let f = a.rx().recv(ctx).expect("backbone station to leaf");
+        assert_eq!(f.src, MacAddr(2));
+    });
+    sim.run_until_finished(&h).expect("run");
+}
+
+#[test]
+fn tree_switch_floods_multicast_only_toward_members() {
+    let mut sim = Simulation::new(1);
+    let mut net = Network::new(NetConfig::default());
+    let s0 = net.add_segment(&mut sim, "s0");
+    let s2 = net.add_segment(&mut sim, "s2");
+    let s1 = net.add_segment(&mut sim, "s1");
+    let bb = net.add_segment(&mut sim, "backbone");
+    net.add_switch_with_uplink(&mut sim, &[s0, s2], bb, "swA");
+    net.add_switch_with_uplink(&mut sim, &[s1], bb, "swB");
+    let a = net.attach(MacAddr(0), s0);
+    let b = net.attach(MacAddr(1), s1);
+    let _c = net.attach(MacAddr(2), s2);
+    let g = McastAddr(9);
+    b.join_group(g);
+    let m = sim.add_processor("m");
+    let h = sim.spawn(m, "t", move |ctx| {
+        a.send(ctx, Dest::Multicast(g), payload(10));
+        assert!(b.rx().recv(ctx).is_some(), "member behind the other switch");
+    });
+    sim.run_until_finished(&h).expect("run");
+    assert_eq!(
+        net.segment_stats(s2).frames,
+        0,
+        "memberless sibling leaf is pruned"
+    );
+    assert_eq!(
+        net.segment_stats(bb).frames,
+        1,
+        "one copy crosses the backbone"
+    );
+}
+
+#[test]
+fn tree_switch_keeps_local_multicast_off_the_backbone() {
+    let mut sim = Simulation::new(1);
+    let mut net = Network::new(NetConfig::default());
+    let (s0, _s1, bb) = tree(&mut sim, &mut net);
+    let a = net.attach(MacAddr(0), s0);
+    let b = net.attach(MacAddr(1), s0);
+    let g = McastAddr(7);
+    b.join_group(g);
+    let m = sim.add_processor("m");
+    let h = sim.spawn(m, "t", move |ctx| {
+        a.send(ctx, Dest::Multicast(g), payload(10));
+        assert!(b.rx().recv(ctx).is_some(), "same-segment member");
+    });
+    sim.run_until_finished(&h).expect("run");
+    assert_eq!(
+        net.segment_stats(bb).frames,
+        0,
+        "all members local: nothing crosses the uplink"
+    );
+}
+
+#[test]
+fn tree_switch_broadcast_reaches_every_segment() {
+    let mut sim = Simulation::new(1);
+    let mut net = Network::new(NetConfig::default());
+    let (s0, s1, bb) = tree(&mut sim, &mut net);
+    let a = net.attach(MacAddr(0), s0);
+    let b = net.attach(MacAddr(1), s1);
+    let srv = net.attach(MacAddr(2), bb);
+    let m = sim.add_processor("m");
+    let h = sim.spawn(m, "t", move |ctx| {
+        a.send(ctx, Dest::Broadcast, payload(10));
+        assert!(b.rx().recv(ctx).is_some(), "leaf behind the other switch");
+        assert!(srv.rx().recv(ctx).is_some(), "backbone station");
+    });
+    sim.run_until_finished(&h).expect("run");
+}
+
+#[test]
+#[should_panic(expected = "restricted to single-lane networks")]
+fn force_drop_next_panics_on_multi_lane_network() {
+    let mut sim = Simulation::new(1);
+    let lane = sim.add_lane();
+    let mut net = Network::new(NetConfig::default());
+    let seg = net.add_segment(&mut sim, "s0");
+    let _far = net.add_segment_on(&mut sim, "s1", lane);
+    let a = net.attach(MacAddr(0), seg);
+    let _b = net.attach(MacAddr(1), seg);
+    net.faults().lock().force_drop_next = 1;
+    let m = sim.add_processor("m");
+    sim.spawn(m, "t", move |ctx| {
+        a.send(ctx, Dest::Unicast(MacAddr(1)), payload(10));
+    });
+    let _ = sim.run();
+}
+
+#[test]
+#[should_panic(expected = "restricted to single-lane networks")]
+fn gilbert_panics_on_multi_lane_network() {
+    let mut sim = Simulation::new(1);
+    let lane = sim.add_lane();
+    let mut net = Network::new(NetConfig::default());
+    let seg = net.add_segment(&mut sim, "s0");
+    let _far = net.add_segment_on(&mut sim, "s1", lane);
+    let a = net.attach(MacAddr(0), seg);
+    let _b = net.attach(MacAddr(1), seg);
+    net.faults().lock().gilbert = Some(GilbertElliott {
+        p_enter_bad: 0.5,
+        p_exit_bad: 0.5,
+        loss_good: 0.0,
+        loss_bad: 1.0,
+        bad: false,
+    });
+    let m = sim.add_processor("m");
+    sim.spawn(m, "t", move |ctx| {
+        a.send(ctx, Dest::Unicast(MacAddr(1)), payload(10));
+    });
+    let _ = sim.run();
 }

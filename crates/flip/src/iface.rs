@@ -93,6 +93,9 @@ struct IfaceState {
     /// escape as immutable payloads and cannot be pooled.
     reassembly_pool: Vec<BytesMut>,
     next_msg_id: u64,
+    /// When set, routes are learned from the source of arriving data
+    /// packets (see [`FlipIface::set_route_learning`]). Off by default.
+    route_learning: bool,
     stats: FlipStats,
 }
 
@@ -131,6 +134,7 @@ impl FlipIface {
                 reassembly: HashMap::new(),
                 reassembly_pool: Vec::new(),
                 next_msg_id: 1,
+                route_learning: false,
                 stats: FlipStats::default(),
             })),
         }
@@ -166,6 +170,27 @@ impl FlipIface {
     /// Returns `true` if `addr` is registered locally.
     pub fn is_local(&self, addr: FlipAddr) -> bool {
         self.state.lock().local.contains(&addr)
+    }
+
+    /// Installs a static route: data for `dst` goes straight to station
+    /// `mac` without a locate broadcast. Locates are each a network-wide
+    /// flood, so large fleets pre-seed the well-known service addresses at
+    /// boot instead of letting thousands of clients locate them at first
+    /// contact. A stale route still heals normally: the wrong station
+    /// answers with `NotHere`, the route is dropped, and the next send
+    /// falls back to a locate.
+    pub fn install_route(&self, dst: FlipAddr, mac: MacAddr) {
+        self.state.lock().routes.insert(dst, mac);
+    }
+
+    /// Enables (or disables) source learning: the interface remembers which
+    /// station each arriving data packet came from and uses it as the route
+    /// back to that sender — the lazy per-peer counterpart of
+    /// [`FlipIface::install_route`], so a server answering thousands of
+    /// clients never locate-floods. Off by default: learned routes suppress
+    /// locates and would perturb schedules pinned by golden traces.
+    pub fn set_route_learning(&self, on: bool) {
+        self.state.lock().route_learning = on;
     }
 
     /// Joins group `group` mapped onto the Ethernet multicast `eth`.
@@ -380,6 +405,9 @@ impl FlipIface {
         let now = ctx.now();
         let mut st = self.state.lock();
         st.stats.packets_received += 1;
+        if st.route_learning {
+            st.routes.entry(header.src).or_insert(from_mac);
+        }
         // Lazy reassembly garbage collection. Runs for every data packet —
         // fast-path or not — so the set of partials that survive to a given
         // instant is independent of the delivery path taken. Expired

@@ -181,7 +181,8 @@ impl UserGroup {
         }));
         if let Some(chan) = seq_chan {
             let seq_group = Arc::clone(&group);
-            sim.spawn_daemon(
+            sim.spawn_daemon_on_lane(
+                sys.machine().lane(),
                 sys.machine().proc(),
                 &format!("{}-seqr", sys.machine().name()),
                 move |ctx| seq_group.sequencer_thread(ctx, chan),

@@ -91,7 +91,8 @@ impl KernelSpacePanda {
             // configuration enables it — see GroupConfig::resync_interval).
             if member.is_sequencer() && !config.kernel_group_resync_interval.is_zero() {
                 let member_r = member.clone();
-                sim.spawn_daemon(
+                sim.spawn_daemon_on_lane(
+                    machine.lane(),
                     machine.proc(),
                     &format!("{}-gresync", machine.name()),
                     move |ctx| member_r.run_resync_daemon(ctx),
@@ -114,7 +115,8 @@ impl KernelSpacePanda {
             for d in 0..config.rpc_server_pool {
                 let server = server.clone();
                 let panda_d = Arc::clone(&panda);
-                sim.spawn_daemon(
+                sim.spawn_daemon_on_lane(
+                    machine.lane(),
                     machine.proc(),
                     &format!("{}-rpcd{}", machine.name(), d),
                     move |ctx| loop {
@@ -141,7 +143,8 @@ impl KernelSpacePanda {
             // upcalls the Panda group handler.
             let member_d = member.clone();
             let panda_g = Arc::clone(&panda);
-            sim.spawn_daemon(
+            sim.spawn_daemon_on_lane(
+                machine.lane(),
                 machine.proc(),
                 &format!("{}-grpd", machine.name()),
                 move |ctx| loop {

@@ -42,11 +42,18 @@ struct OutConn {
     state: SimMutex<OutState>,
 }
 
-/// Server side of one connection (one client -> this node).
+/// Events carry the `(server, seq)` pair they answer (sequence numbers are
+/// only per-connection): reply slots are pooled and reused across calls, and
+/// a late duplicate from a slot's previous life must be recognizable so the
+/// new owner can discard it.
 enum ClientEvent {
-    Reply(Bytes),
-    Working,
+    Reply(NodeId, u64, Bytes),
+    Working(NodeId, u64),
 }
+
+/// Reply slots kept for reuse per node. Stop-and-wait serializes calls per
+/// connection, so a short free list captures all reuse.
+const SLOT_POOL_MAX: usize = 4;
 
 struct InConn {
     last_done: u64,
@@ -62,6 +69,8 @@ pub(crate) struct UserRpc {
     incoming: Mutex<HashMap<NodeId, InConn>>,
     /// Reply routing: `(server, seq) -> slot` for calls in flight.
     replies: Mutex<HashMap<(NodeId, u64), SimChannel<ClientEvent>>>,
+    /// Free list of reply slots (see [`ClientEvent`]).
+    slot_pool: Mutex<Vec<SimChannel<ClientEvent>>>,
     handler: Mutex<Option<RpcHandler>>,
     /// Deferred explicit acknowledgements, drained by the ack daemon.
     ack_queue: SimChannel<(NodeId, u64)>,
@@ -89,6 +98,7 @@ impl UserRpc {
             out: Mutex::new(HashMap::new()),
             incoming: Mutex::new(HashMap::new()),
             replies: Mutex::new(HashMap::new()),
+            slot_pool: Mutex::new(Vec::new()),
             handler: Mutex::new(None),
             ack_queue: SimChannel::new(),
         });
@@ -98,7 +108,8 @@ impl UserRpc {
         }));
         let ack_rpc = Arc::clone(&rpc);
         let proc = sys.machine().proc();
-        sim.spawn_daemon(
+        sim.spawn_daemon_on_lane(
+            sys.machine().lane(),
             proc,
             &format!("{}-ackd", sys.machine().name()),
             move |ctx| {
@@ -132,7 +143,7 @@ impl UserRpc {
         let seq = st.next_seq;
         st.next_seq += 1;
         let ack = st.pending_ack.take();
-        let slot = SimChannel::new();
+        let slot = self.slot_pool.lock().pop().unwrap_or_default();
         self.replies.lock().insert((dst, seq), slot.clone());
         let header = PandaHeader {
             module: Module::Rpc,
@@ -172,11 +183,18 @@ impl UserRpc {
             }
             let backoff = self.config.rpc_timeout * (1u64 << attempt.min(4));
             match slot.recv_timeout(ctx, backoff) {
-                Ok(ClientEvent::Reply(reply)) => {
+                // Events from a pooled slot's previous life carry a stale
+                // (server, seq) pair; discard them and keep waiting.
+                Ok(ClientEvent::Reply(d, s, _)) | Ok(ClientEvent::Working(d, s))
+                    if (d, s) != (dst, seq) =>
+                {
+                    continue;
+                }
+                Ok(ClientEvent::Reply(_, _, reply)) => {
                     result = Ok(reply);
                     break;
                 }
-                Ok(ClientEvent::Working) => {
+                Ok(ClientEvent::Working(_, _)) => {
                     // Server alive, request held (blocked guard): wait on.
                     attempt = 0;
                     continue;
@@ -190,6 +208,12 @@ impl UserRpc {
             }
         }
         self.replies.lock().remove(&(dst, seq));
+        {
+            let mut pool = self.slot_pool.lock();
+            if pool.len() < SLOT_POOL_MAX {
+                pool.push(slot);
+            }
+        }
         if result.is_ok() {
             // The reply acknowledges implicitly on the next request; if none
             // comes soon, the ack daemon sends an explicit one.
@@ -259,13 +283,13 @@ impl UserRpc {
                     // Hand the reply to the blocked client thread. Two
                     // context switches are on this path (daemon in, client
                     // out) — the 140 us the paper measures.
-                    let _ = slot.send(ctx, ClientEvent::Reply(body));
+                    let _ = slot.send(ctx, ClientEvent::Reply(header.src, header.a, body));
                 }
             }
             KIND_WORKING => {
                 let slot = self.replies.lock().get(&(header.src, header.a)).cloned();
                 if let Some(slot) = slot {
-                    let _ = slot.send(ctx, ClientEvent::Working);
+                    let _ = slot.send(ctx, ClientEvent::Working(header.src, header.a));
                 }
             }
             KIND_ACK => {

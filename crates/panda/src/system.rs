@@ -180,7 +180,8 @@ impl SysLayer {
             })),
         });
         let daemon_sys = Arc::clone(&sys);
-        sim.spawn_daemon(
+        sim.spawn_daemon_on_lane(
+            machine.lane(),
             machine.proc(),
             &format!("{}-pandad", machine.name()),
             move |ctx| daemon_sys.receive_daemon(ctx, inbox),
