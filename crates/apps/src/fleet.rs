@@ -343,6 +343,11 @@ pub struct FleetReport {
     /// Scheduler events the simulation processed (wall-clock denominator
     /// for the selfperf `fleet` hot path).
     pub sim_events: u64,
+    /// Window-engine accounting of the run. Everything except
+    /// `barrier_wait_ns` is deterministic per spec; `barrier_wait_ns` is
+    /// wall-clock, which is why this block never feeds
+    /// [`FleetReport::result_hash`].
+    pub window_stats: desim::WindowStats,
 }
 
 impl FleetReport {
@@ -441,6 +446,7 @@ impl FleetWorld {
             frames: net_stats.frames,
             wire_bytes: net_stats.wire_bytes,
             sim_events: report.events,
+            window_stats: self.sim.window_stats(),
         }
     }
 }

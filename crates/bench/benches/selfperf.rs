@@ -69,12 +69,17 @@ fn main() -> ExitCode {
     let sc = &report.shard_scaling;
     println!(
         "  shard scaling   {:>8.0} ns/event on 1 runner, {:>8.0} ns/event on {} \
-         ({:.2}x, same events: {})",
+         ({:.2}x, same events: {}{})",
         sc.serial.ns_per_event(),
         sc.parallel.ns_per_event(),
-        sc.shards,
+        sc.runners,
         sc.speedup(),
-        sc.deterministic()
+        sc.deterministic(),
+        if sc.degenerate() {
+            ", degenerate: auto resolved to 1 runner on this host"
+        } else {
+            ""
+        }
     );
     let mem = &report.memory;
     let mb = memory_baselines_for(mem.backend);

@@ -16,10 +16,11 @@
 //!   queue churn, every pop re-pushing into a deep heap.
 //!
 //! - **shards**: four Ethernet segments on four scheduler lanes exchanging
-//!   unicast traffic through a cross-lane switch — every window barrier,
-//!   cross-lane link flush, and injector wake of the conservative windowed
-//!   driver is on the measured path (run with two runner threads, so the
-//!   barrier hand-off cost is visible even on a 1-core host);
+//!   unicast traffic through a cross-lane switch — every window gate,
+//!   cross-lane link flush, and flush-time delivery injection of the
+//!   conservative windowed driver is on the measured path (run with two
+//!   runner threads, so the gate hand-off cost is visible even on a 1-core
+//!   host);
 //!
 //! - **fleet**: the open-loop client fleet end to end — a kernel-stack
 //!   fleet behind a switch tree on two scheduler lanes, Poisson clients
@@ -51,7 +52,7 @@ use std::time::Instant;
 use apps::fleet::{build_fleet, FleetSpec, FleetStack};
 use chaos::{run_chaos, ChaosConfig, Stack};
 use desim::par::par_map;
-use desim::{Backend, LaneId, SimChannel, SimDuration, Simulation};
+use desim::{Backend, LaneId, SimChannel, SimDuration, Simulation, WindowStats};
 use ethernet::{Dest, MacAddr, McastAddr, NetConfig, Network, SegmentId};
 
 /// A hot-path measurement more than this factor over its recorded baseline
@@ -90,17 +91,16 @@ pub fn baselines_for(backend: Backend) -> BackendBaselines {
             sleepstorm: 64.0,
             fanout: 1800.0,
             queue: 2000.0,
-            shards: 5100.0,
-            fleet: 7300.0,
+            shards: 2800.0,
+            fleet: 4200.0,
             note: "re-pinned at the 10% gate's introduction to the top of the \
                    reference container's observed envelope (medians ~1000/58/1670/1790 \
                    over 4 full runs); the old 1425.0 fanout pin plus the silent 1571.2 \
                    recording were both inside that noise band, not a real regression; \
-                   shards pinned when the windowed driver landed (~2970-3900 observed; \
-                   two runner threads time-slice the reference core, so barrier \
-                   hand-offs dominate and the noise band is wide); fleet pinned when \
-                   the open-loop client fleet landed (~4070-5760 observed, same \
-                   two-runner caveat)",
+                   shards/fleet re-pinned when the window-engine diet landed \
+                   (medians 1863/2965 over 3 full runs, observed bands 1851-2159 and \
+                   2955-3218; pinned ~1.3x the top of the band because two runner \
+                   threads time-slice the reference core and the noise band is wide)",
         },
         Backend::Fibers => BackendBaselines {
             backend,
@@ -108,15 +108,14 @@ pub fn baselines_for(backend: Backend) -> BackendBaselines {
             sleepstorm: 75.0,
             fanout: 170.0,
             queue: 110.0,
-            shards: 1900.0,
-            fleet: 3000.0,
+            shards: 600.0,
+            fleet: 1000.0,
             note: "first recording, pinned when the fiber backend landed \
                    (medians ~113/54/140/85 over 4 full runs on the reference container); \
-                   shards pinned when the windowed driver landed (~1280-1450 observed; \
-                   two runner threads time-slice the reference core, so barrier \
-                   hand-offs dominate and the noise band is wide); fleet pinned when \
-                   the open-loop client fleet landed (~1710-2350 observed, same \
-                   two-runner caveat)",
+                   shards/fleet re-pinned when the window-engine diet landed \
+                   (medians 420/687 over 3 full runs, observed bands 418-448 and \
+                   668-768; pinned ~1.3x the top of the band because two runner \
+                   threads time-slice the reference core and the noise band is wide)",
         },
     }
 }
@@ -128,6 +127,10 @@ pub struct HotPath {
     pub events: u64,
     /// Wall-clock time for the whole run, nanoseconds.
     pub wall_ns: u64,
+    /// Window-engine accounting, present on the benches that exercise the
+    /// windowed driver (`shards`, `fleet`) so window-engine regressions are
+    /// diagnosable from the CI artifact alone.
+    pub windows: Option<WindowStats>,
 }
 
 impl HotPath {
@@ -172,6 +175,7 @@ pub fn pingpong(backend: Backend, rounds: u64) -> HotPath {
     HotPath {
         events: sim.report().events,
         wall_ns: t0.elapsed().as_nanos() as u64,
+        windows: None,
     }
 }
 
@@ -190,6 +194,7 @@ pub fn sleepstorm(backend: Backend, wakes: u64) -> HotPath {
     HotPath {
         events: sim.report().events,
         wall_ns: t0.elapsed().as_nanos() as u64,
+        windows: None,
     }
 }
 
@@ -226,6 +231,7 @@ pub fn fanout(backend: Backend, members: u32, frames: u64) -> HotPath {
     HotPath {
         events: sim.report().events,
         wall_ns: t0.elapsed().as_nanos() as u64,
+        windows: None,
     }
 }
 
@@ -250,6 +256,7 @@ pub fn queue_churn(backend: Backend, sleepers: u32, wakes: u64) -> HotPath {
     HotPath {
         events: sim.report().events,
         wall_ns: t0.elapsed().as_nanos() as u64,
+        windows: None,
     }
 }
 
@@ -301,6 +308,7 @@ pub fn multiseg(backend: Backend, shards: usize, frames: u64) -> HotPath {
     HotPath {
         events: sim.report().events,
         wall_ns: t0.elapsed().as_nanos() as u64,
+        windows: Some(sim.window_stats()),
     }
 }
 
@@ -331,6 +339,7 @@ pub fn fleet(backend: Backend, machines: u32, duration_ms: u64) -> HotPath {
     HotPath {
         events: report.sim_events,
         wall_ns: t0.elapsed().as_nanos() as u64,
+        windows: Some(report.window_stats),
     }
 }
 
@@ -557,10 +566,12 @@ pub fn chaos_sweep_perf(seeds: u64, jobs: usize) -> SweepPerf {
 pub struct ShardScaling {
     /// The multiseg workload driven by a single runner thread.
     pub serial: HotPath,
-    /// The same workload driven by `shards` runner threads.
+    /// The same workload driven by `runners` runner threads.
     pub parallel: HotPath,
-    /// Runner threads the parallel run used.
-    pub shards: usize,
+    /// Resolved runner threads the parallel (`auto`) run used.
+    pub runners: usize,
+    /// Host cores available to the process when `auto` resolved.
+    pub host_cores: usize,
 }
 
 impl ShardScaling {
@@ -568,6 +579,14 @@ impl ShardScaling {
     /// where the runner threads time-slice one core).
     pub fn speedup(&self) -> f64 {
         self.serial.wall_ns as f64 / self.parallel.wall_ns.max(1) as f64
+    }
+
+    /// `true` when `auto` resolved to a single runner (1-core host): both
+    /// sides then run the same serial windowed loop and the "speedup" is
+    /// pure measurement noise, not a parallelism verdict. Consumers must
+    /// not read a sub-1.0 speedup as a regression when this is set.
+    pub fn degenerate(&self) -> bool {
+        self.runners == 1
     }
 
     /// Whether both runs processed the same event count — the cheap in-band
@@ -614,15 +633,33 @@ impl SelfPerfReport {
     /// Renders the report as JSON (hand-rolled; the workspace has no JSON
     /// dependency and the schema is flat).
     pub fn to_json(&self) -> String {
-        fn hot(h: &HotPath) -> String {
+        fn win(w: &WindowStats) -> String {
             format!(
-                "{{\"events\": {}, \"wall_ns\": {}, \"ns_per_event\": {:.1}, \
-                 \"events_per_sec\": {:.0}}}",
+                "{{\"windows\": {}, \"events\": {}, \"events_per_window\": {:.1}, \
+                 \"flushes\": {}, \"flushes_elided\": {}, \"lanes_skipped\": {}, \
+                 \"barrier_wait_ns\": {}}}",
+                w.windows,
+                w.events,
+                w.events as f64 / w.windows.max(1) as f64,
+                w.flushes,
+                w.flushes_elided,
+                w.lanes_skipped,
+                w.barrier_wait_ns
+            )
+        }
+        fn hot(h: &HotPath) -> String {
+            let base = format!(
+                "\"events\": {}, \"wall_ns\": {}, \"ns_per_event\": {:.1}, \
+                 \"events_per_sec\": {:.0}",
                 h.events,
                 h.wall_ns,
                 h.ns_per_event(),
                 h.events_per_sec()
-            )
+            );
+            match &h.windows {
+                Some(w) => format!("{{{base}, \"windows\": {}}}", win(w)),
+                None => format!("{{{base}}}"),
+            }
         }
         fn backend_block(b: &BackendHotPaths) -> String {
             format!(
@@ -676,7 +713,7 @@ impl SelfPerfReport {
             .collect();
         let mb = memory_baselines_for(self.memory.backend);
         format!(
-            "{{\n  \"schema\": \"selfperf-v5\",\n  \"generated_by\": \
+            "{{\n  \"schema\": \"selfperf-v6\",\n  \"generated_by\": \
              \"cargo bench -p bench --bench selfperf\",\n  \"quick\": {},\n  \
              \"host_cores\": {},\n  \"gate_regression_factor\": {:.2},\n  \
              \"hot_path\": {{\n    {}\n  }},\n  \"baseline_ns_per_event\": {{\n    \
@@ -684,7 +721,8 @@ impl SelfPerfReport {
              \"available\": {},\n    \"gate_factor\": {:.2},\n    \
              \"small\": {},\n    \"large\": {},\n    \"note\": \"{}\"\n  }},\n  \
              \"shard_scaling\": {{\n    \"serial\": {},\n    \
-             \"parallel\": {},\n    \"shards\": {},\n    \"speedup\": {:.2},\n    \
+             \"parallel\": {},\n    \"runners\": {},\n    \"host_cores\": {},\n    \
+             \"degenerate\": {},\n    \"speedup\": {:.2},\n    \
              \"deterministic\": {}\n  }},\n  \"sweep\": {{\n    \"serial\": {},\n    \
              \"parallel\": {},\n    \"speedup\": {:.2},\n    \
              \"deterministic\": {}\n  }}\n}}\n",
@@ -701,7 +739,9 @@ impl SelfPerfReport {
             mb.note,
             hot(&self.shard_scaling.serial),
             hot(&self.shard_scaling.parallel),
-            self.shard_scaling.shards,
+            self.shard_scaling.runners,
+            self.shard_scaling.host_cores,
+            self.shard_scaling.degenerate(),
             self.shard_scaling.speedup(),
             self.shard_scaling.deterministic(),
             sweep(&self.serial),
@@ -753,11 +793,12 @@ pub fn measure_shard_scaling(quick: bool) -> ShardScaling {
     probe.add_lane();
     probe.add_lane();
     probe.add_lane();
-    let shards = probe.shards();
+    let runners = probe.shards();
     ShardScaling {
         serial: median_of(3, || multiseg(backend, 1, frames)),
         parallel: median_of(3, || multiseg(backend, 0, frames)),
-        shards,
+        runners,
+        host_cores: desim::par::default_jobs(),
     }
 }
 
@@ -852,9 +893,22 @@ mod tests {
     fn multiseg_is_shard_count_independent() {
         let reference = multiseg(Backend::OsThreads, 1, 15);
         assert!(reference.events > 0);
+        let strip_wall = |w: WindowStats| WindowStats {
+            barrier_wait_ns: 0,
+            ..w
+        };
         for shards in [2, 4, 0] {
             let got = multiseg(Backend::OsThreads, shards, 15);
             assert_eq!(reference.events, got.events, "shards={shards}");
+            // The window engine itself must be deterministic: window count,
+            // flush/elision split, and skip count are properties of the
+            // program, not of how many runner threads drove it. Only the
+            // gate's wall-clock wait may differ.
+            assert_eq!(
+                reference.windows.map(strip_wall),
+                got.windows.map(strip_wall),
+                "window stats diverged at shards={shards}"
+            );
         }
     }
 
@@ -863,6 +917,14 @@ mod tests {
         let hot = |k: u64| HotPath {
             events: 10 * k,
             wall_ns: 1000 * k,
+            windows: (k >= 9).then_some(WindowStats {
+                windows: 4 * k,
+                events: 10 * k,
+                flushes: 2 * k,
+                flushes_elided: 3 * k,
+                lanes_skipped: k,
+                barrier_wait_ns: 100 * k,
+            }),
         };
         let report = SelfPerfReport {
             quick: true,
@@ -904,8 +966,10 @@ mod tests {
                 parallel: HotPath {
                     events: 120,
                     wall_ns: 6000,
+                    windows: None,
                 },
-                shards: 4,
+                runners: 4,
+                host_cores: 4,
             },
             memory: MemoryUse {
                 backend: Backend::Fibers,
@@ -924,7 +988,7 @@ mod tests {
         };
         let json = report.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert!(json.contains("\"schema\": \"selfperf-v5\""));
+        assert!(json.contains("\"schema\": \"selfperf-v6\""));
         assert!(json.contains("\"fibers\""));
         assert!(json.contains("\"os-threads\""));
         assert!(json.contains("\"gate_regression_factor\": 1.10"));
@@ -932,8 +996,21 @@ mod tests {
         assert!(json.contains("\"memory\""));
         assert!(json.contains("\"bytes_per_machine\": 16384"));
         assert!(json.contains("\"shard_scaling\""));
+        assert!(json.contains("\"runners\": 4"));
+        assert!(json.contains("\"degenerate\": false"));
         assert!(json.contains("\"speedup\": 2.00"));
         assert!(json.contains("\"deterministic\": true"));
+        // The sharded benches carry a nested windows block; the plain hot
+        // paths do not.
+        assert!(
+            json.contains("\"flushes_elided\": 27"),
+            "shards windows block"
+        );
+        assert!(json.contains("\"events_per_window\": 2.5"));
+        assert!(
+            json.contains("\"barrier_wait_ns\": 1200"),
+            "fleet windows block"
+        );
     }
 
     #[test]

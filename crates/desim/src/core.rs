@@ -33,7 +33,7 @@
 
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::{Arc, OnceLock};
 use std::thread::Thread;
 
@@ -56,6 +56,23 @@ impl fmt::Display for ThreadId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "t{}", self.0)
     }
+}
+
+/// Sentinel thread id carried by cross-lane *injection events* (see
+/// [`LaneInjector`]). Never a real thread: `next_live` intercepts it before
+/// the wake table or the thread table would be indexed.
+pub(crate) const INJECT_THREAD: ThreadId = ThreadId(usize::MAX);
+
+/// Delivery hook of one cross-lane link, registered with its destination
+/// lane (see `crate::shard`). When an injection event pops, the lane calls
+/// `deliver_due` under its own state lock: the hook moves every value due
+/// at `now` into its destination channel (scheduling receiver wakes exactly
+/// as an in-lane `send` would) and returns the instant the next injection
+/// event should fire at, if any — the caller queues it. This replaces the
+/// per-link injector daemons: a cross-lane frame costs one queue pop
+/// instead of a daemon wake, a channel hop, and a daemon re-block.
+pub(crate) trait LaneInjector: Send + Sync {
+    fn deliver_due(&self, st: &mut CoreState, now: SimTime) -> Option<SimTime>;
 }
 
 /// Identifies a simulated processor (one CPU) within one [`crate::Simulation`].
@@ -120,7 +137,7 @@ pub(crate) const GRANT_SHUTDOWN: u8 = 1;
 /// multicore box the hand-off partner can flip the turn while we spin, so a
 /// short spin before parking skips the futex syscall on the common path. On
 /// a single core spinning only burns the quantum the partner needs.
-fn spin_before_park() -> bool {
+pub(crate) fn spin_before_park() -> bool {
     static MULTICORE: OnceLock<bool> = OnceLock::new();
     *MULTICORE.get_or_init(|| std::thread::available_parallelism().is_ok_and(|n| n.get() > 1))
 }
@@ -414,13 +431,11 @@ pub(crate) struct CoreState {
     /// hand-off fast path, so it lives with the rest of the shared state.
     pub max_events: Option<u64>,
     pub shutdown: bool,
-    /// Exclusive upper bound on the instants this lane may process in the
-    /// current window (`None` outside windowed execution — the classic
-    /// serial mode, where the check costs one `is_some` per pop). Events at
-    /// or past the bound stay queued; `next_live` reports
-    /// [`NextEvent::WindowEdge`] instead of popping them. Set by the
-    /// windowed driver before each window (`crate::shard`).
-    pub window_limit: Option<SimTime>,
+    /// Cross-lane delivery hooks, indexed by the `wait_id` of injection
+    /// events (see [`LaneInjector`]). Registered once per inbound link at
+    /// construction; cleared by `initiate_shutdown` to break the reference
+    /// cycle lane → injector → lane.
+    pub(crate) injectors: Vec<Arc<dyn LaneInjector>>,
     pub rng: SmallRng,
     /// When `Some`, draws one tie-break value per scheduled wake, shuffling
     /// the pick order among same-instant ready threads (chaos testing). Kept
@@ -511,16 +526,23 @@ impl CoreState {
     /// time and event counts are independent of *who* drives the queue (the
     /// scheduler or a blocking thread's hand-off fast path) and of which
     /// backend executes the threads.
-    pub(crate) fn next_live(&mut self) -> NextEvent {
+    ///
+    /// `window_limit` is the exclusive upper bound (in nanoseconds) on the
+    /// instants this lane may process, `u64::MAX` for none — the caller
+    /// reads it from [`Core::window_limit`], so the classic serial path
+    /// pays one integer compare per pop and no lock traffic. Events at or
+    /// past the bound stay queued; [`NextEvent::WindowEdge`] is reported
+    /// instead (windowed parallel execution only; see `crate::shard`).
+    pub(crate) fn next_live(&mut self, window_limit: u64) -> NextEvent {
         loop {
             if let Some(l) = self.max_events {
                 if self.events_processed >= l {
                     return NextEvent::LimitHit;
                 }
             }
-            if let Some(limit) = self.window_limit {
+            if window_limit != u64::MAX {
                 match self.queue.peek_time() {
-                    Some(t) if t >= limit => return NextEvent::WindowEdge,
+                    Some(t) if t.as_nanos() >= window_limit => return NextEvent::WindowEdge,
                     _ => {}
                 }
             }
@@ -530,6 +552,18 @@ impl CoreState {
             debug_assert!(ev.time >= self.now);
             self.now = ev.time;
             self.events_processed += 1;
+            if ev.thread == INJECT_THREAD {
+                // A cross-lane injection event: deliver everything due on
+                // the link it belongs to, then queue its next firing. The
+                // pop above already advanced the clock and the event count,
+                // exactly like the injector-daemon wake it replaces.
+                let idx = ev.wait_id as usize;
+                let inj = Arc::clone(&self.injectors[idx]);
+                if let Some(next) = inj.deliver_due(self, ev.time) {
+                    self.schedule_injection(next, idx);
+                }
+                continue;
+            }
             if self.wake.consume(ev.thread, ev.wait_id) {
                 self.threads[ev.thread.0].state = ThreadState::Running;
                 self.trace_event(ev.thread, Layer::Sched, Phase::Instant, "wake", &[]);
@@ -550,15 +584,39 @@ impl CoreState {
         self.queue.peek_time()
     }
 
-    /// Configures the current window: the exclusive processing bound and,
-    /// when bounded, the committed floor below which nothing may be
-    /// scheduled any more (`queue.rs` debug-asserts it). The floor passed
-    /// here is the *global* committed horizon `T_min`; a lane whose own
-    /// clock lags it keeps its weaker local bound instead, because lagging
-    /// lanes legitimately schedule at their own `now`.
-    pub(crate) fn set_window(&mut self, limit: Option<SimTime>, floor: SimTime) {
-        self.window_limit = limit;
-        self.queue.set_floor(floor.min(self.now));
+    /// Schedules a cross-lane injection event for the link registered at
+    /// `injector` (see [`LaneInjector`]). Mirrors [`CoreState::schedule_wake`]
+    /// exactly — same monotone `seq`, same perturbation tie draw — so an
+    /// injection event occupies the same `(time, tie, seq)` queue position
+    /// the replaced injector daemon's wake event had.
+    pub(crate) fn schedule_injection(&mut self, at: SimTime, injector: usize) {
+        debug_assert!(at >= self.now, "cannot schedule an injection in the past");
+        let seq = self.seq;
+        self.seq += 1;
+        let tie = match self.perturb.as_mut() {
+            Some(rng) => rng.random(),
+            None => 0,
+        };
+        self.queue.push(Event {
+            time: at,
+            tie,
+            seq,
+            thread: INJECT_THREAD,
+            wait_id: injector as u64,
+        });
+    }
+
+    /// Records the committed window floor backing `queue.rs`'s push
+    /// assertion ("cross-shard injection never lands below finished
+    /// history"). The floor passed here is the *global* committed horizon
+    /// `T_min`; a lane whose own clock lags it keeps its weaker local bound
+    /// instead, because lagging lanes legitimately schedule at their own
+    /// `now`. Debug builds only — the floor is assertion-only state and
+    /// release builds skip even the per-lane lock to maintain it.
+    #[cfg(debug_assertions)]
+    pub(crate) fn set_window_floor(&mut self, floor: SimTime) {
+        let bound = floor.min(self.now);
+        self.queue.set_floor(bound);
     }
 }
 
@@ -576,6 +634,14 @@ pub(crate) struct Core {
     /// Mirrors `CoreState::tracer.is_some()`; lives outside the mutex so
     /// disabled-tracing call sites pay one relaxed load and nothing else.
     pub trace_on: AtomicBool,
+    /// Exclusive upper bound (nanoseconds) on the instants this lane may
+    /// process in the current window; `u64::MAX` = unbounded (the classic
+    /// serial mode and link-free windows). Lives outside the mutex so the
+    /// windowed driver can set every lane's bound without a single lock
+    /// acquisition; the window gate's release/acquire edges order the
+    /// stores against runner reads, and within one turn plain program order
+    /// does (strict alternation).
+    pub(crate) window_limit: AtomicU64,
     /// Index of a simulated thread whose body panicked (`usize::MAX` =
     /// none). With direct hand-off chains the thread that yields back to the
     /// scheduler is not necessarily the one the scheduler resumed, so the
@@ -624,7 +690,7 @@ impl Core {
                 events_processed: 0,
                 max_events: None,
                 shutdown: false,
-                window_limit: None,
+                injectors: Vec::new(),
                 rng: SmallRng::seed_from_u64(seed),
                 perturb: None,
                 trace: None,
@@ -635,6 +701,7 @@ impl Core {
             fiber_stack_size,
             sched_ctx: fiber::ContextCell::new(),
             trace_on: AtomicBool::new(false),
+            window_limit: AtomicU64::new(u64::MAX),
             panicked_tid: AtomicUsize::new(NO_PANIC),
             sched_turn: AtomicBool::new(true),
             sched_thread: Mutex::new(None),
@@ -867,6 +934,7 @@ impl Core {
     ///
     /// Propagates panics from simulated threads.
     pub(crate) fn step(self: &Arc<Self>, stop_on: Option<ThreadId>) -> StepResult {
+        let window_limit = self.window_limit.load(AtomicOrdering::Relaxed);
         let target = {
             let mut st = self.state.lock();
             if let Some(t) = stop_on {
@@ -874,7 +942,7 @@ impl Core {
                     return StepResult::TargetFinished;
                 }
             }
-            match st.next_live() {
+            match st.next_live(window_limit) {
                 NextEvent::Drained => return StepResult::Drained,
                 NextEvent::LimitHit => return StepResult::LimitExceeded,
                 NextEvent::WindowEdge => return StepResult::WindowEdge,
@@ -903,8 +971,23 @@ impl Core {
         StepResult::Progress
     }
 
+    /// Registers a cross-lane delivery hook for this lane and returns the
+    /// index injection events must carry in their `wait_id`.
+    pub(crate) fn register_injector(self: &Arc<Self>, inj: Arc<dyn LaneInjector>) -> usize {
+        let mut st = self.state.lock();
+        st.injectors.push(inj);
+        st.injectors.len() - 1
+    }
+
     pub(crate) fn initiate_shutdown(self: &Arc<Self>) {
-        self.state.lock().shutdown = true;
+        {
+            let mut st = self.state.lock();
+            st.shutdown = true;
+            // Each injector holds an `Arc` of this core (its destination);
+            // dropping the registrations breaks the cycle so the cores can
+            // actually be freed when the `Simulation` goes away.
+            st.injectors.clear();
+        }
         // Round-robin resume every unfinished thread until all have unwound.
         // A destructor may block again during unwinding (it receives benign
         // fallback values), so several rounds can be needed.
@@ -1007,6 +1090,7 @@ pub(crate) fn yield_blocked(core: &Core, tid: ThreadId, exec: &ExecRef) -> WakeS
         /// Hand the turn straight to the woken thread: one switch.
         Grant(ResumeTarget),
     }
+    let window_limit = core.window_limit.load(AtomicOrdering::Relaxed);
     let next = {
         let mut st = core.state.lock();
         if st.shutdown {
@@ -1014,7 +1098,7 @@ pub(crate) fn yield_blocked(core: &Core, tid: ThreadId, exec: &ExecRef) -> WakeS
             // gone); let the caller unwind or return a benign value.
             return WakeStatus::Shutdown;
         }
-        match st.next_live() {
+        match st.next_live(window_limit) {
             // A window edge breaks the hand-off chain exactly like a drain:
             // the next event belongs to a later window and only the driver
             // may open it.

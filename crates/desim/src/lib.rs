@@ -61,7 +61,9 @@ pub use channel::{PendingWake, RecvTimeoutError, SendError, SimChannel};
 pub use core::{ProcId, ThreadId};
 pub use ctx::{Ctx, SwitchCharge};
 pub use shard::{set_shards_override, LaneId, XSender};
-pub use sim::{ProcReport, SimError, SimReport, Simulation, SimulationBuilder, ThreadHandle};
+pub use sim::{
+    ProcReport, SimError, SimReport, Simulation, SimulationBuilder, ThreadHandle, WindowStats,
+};
 pub use sync::{SimCondvar, SimMutex, SimMutexGuard};
 pub use time::{ms, secs, us, SimDuration, SimTime};
 pub use trace::{CounterSnapshot, Layer, Phase, TraceEvent};

@@ -43,12 +43,15 @@
 //!
 //! Under windowed execution the driver commits a *floor* before each
 //! window: every instant strictly below it is finished history on every
-//! lane. Cross-shard injection must never schedule below it — conservative
-//! lookahead guarantees a cross-lane frame's delivery time lands at or past
-//! the window end. [`EventQueue::set_floor`] records the committed floor
-//! and `push` carries a debug assertion against it (in addition to the
-//! near-tier assertion, which is the stricter per-lane check once the
-//! clock has advanced).
+//! lane. Cross-shard injection — nowadays a barrier-time push of an
+//! injection event ([`crate::core::LaneInjector`]) straight into this queue
+//! — must never schedule below it: conservative lookahead guarantees a
+//! cross-lane frame's delivery time lands at or past the window end.
+//! [`EventQueue::set_floor`] records the committed floor and `push` carries
+//! a debug assertion against it (in addition to the near-tier assertion,
+//! which is the stricter per-lane check once the clock has advanced). The
+//! floor is assertion-only state, so both it and its maintenance exist in
+//! debug builds only; release builds pay nothing for it.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
@@ -114,7 +117,9 @@ pub(crate) struct EventQueue {
     /// some *at* `bucket_time` that were pushed before the clock got here.
     far: BinaryHeap<Event>,
     /// Committed window floor (see the module docs). `SimTime::ZERO` — i.e.
-    /// no constraint — outside windowed execution.
+    /// no constraint — outside windowed execution. Debug-assertion state;
+    /// release builds drop the field entirely.
+    #[cfg(debug_assertions)]
     floor: SimTime,
 }
 
@@ -124,6 +129,7 @@ impl EventQueue {
             bucket_time: SimTime::ZERO,
             bucket: VecDeque::with_capacity(cap.min(64)),
             far: BinaryHeap::with_capacity(cap),
+            #[cfg(debug_assertions)]
             floor: SimTime::ZERO,
         }
     }
@@ -146,12 +152,15 @@ impl EventQueue {
         }
     }
 
-    /// Records the committed window floor (debug-asserted by `push`).
+    /// Records the committed window floor (debug-asserted by `push`;
+    /// debug builds only, like the floor itself).
+    #[cfg(debug_assertions)]
     pub(crate) fn set_floor(&mut self, floor: SimTime) {
         self.floor = floor;
     }
 
     pub(crate) fn push(&mut self, ev: Event) {
+        #[cfg(debug_assertions)]
         debug_assert!(
             ev.time >= self.floor,
             "cannot schedule below the committed window floor"

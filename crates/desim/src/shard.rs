@@ -46,13 +46,13 @@
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::channel::SimChannel;
-use crate::core::{shutdown_unwind_unless_panicking, Core, ThreadId, WakeStatus};
+use crate::core::{Core, CoreState, LaneInjector};
 use crate::time::{SimDuration, SimTime};
 use crate::Ctx;
 
@@ -152,6 +152,21 @@ pub(crate) fn default_shards() -> ShardCount {
     ShardCount::Auto
 }
 
+/// What one barrier-time [`XPort::flush`] did.
+pub(crate) enum FlushResult {
+    /// Nothing was sent since the last flush: the dirty-flag fast path
+    /// returned after one atomic swap, taking no lock.
+    Quiet,
+    /// The outbox was merged into the pending list; the earliest pending
+    /// delivery was already covered by a queued injection event.
+    Merged,
+    /// The outbox was merged and a fresh injection event was pushed into
+    /// the destination lane's queue at this instant. The driver folds it
+    /// into the lane's published next-event slot, so a lane made runnable
+    /// only by this flush is not skipped.
+    Armed(SimTime),
+}
+
 /// Barrier-side face of a cross-lane link, held by the `Simulation` driver.
 /// Only called between windows, when no lane is running.
 pub(crate) trait XPort: Send + Sync {
@@ -159,13 +174,24 @@ pub(crate) trait XPort: Send + Sync {
     /// registered links.
     fn min_delay(&self) -> SimDuration;
 
+    /// The destination lane's index, so the driver can fold a flush's
+    /// newly armed instant into that lane's published next-event slot.
+    fn dst_lane(&self) -> usize;
+
     /// Moves everything sent during the last window into the destination
-    /// lane's pending list and (re-)arms the injector daemon's wake for the
-    /// earliest pending delivery. `floor` is the committed global horizon:
-    /// conservative lookahead guarantees every delivery lands at or past
-    /// it, which is debug-asserted here (the cross-shard-injection
-    /// assertion of `queue.rs`'s module docs).
-    fn flush(&self, floor: SimTime);
+    /// lane's pending list and, when the earliest pending delivery is not
+    /// already covered by a queued injection event, pushes one directly
+    /// into the destination lane's event queue. `floor` is the committed
+    /// global horizon: conservative lookahead guarantees every delivery
+    /// lands at or past it, which is debug-asserted here (the
+    /// cross-shard-injection assertion of `queue.rs`'s module docs).
+    ///
+    /// Quiet links — nothing sent since the last flush — return
+    /// [`FlushResult::Quiet`] after a single atomic swap on the link's
+    /// dirty flag, taking no lock at all: the common case in switch-tree
+    /// topologies, where most windows carry no cross-lane traffic on most
+    /// links.
+    fn flush(&self, floor: SimTime) -> FlushResult;
 }
 
 /// Shared state of one [`XSender`] link.
@@ -174,27 +200,34 @@ pub(crate) trait XPort: Send + Sync {
 /// value early:
 ///
 /// 1. `send` (source lane, during a window) appends `(now + delay, value)`
-///    to the `outbox` — invisible to the destination.
+///    to the `outbox` — invisible to the destination — and raises the
+///    link's dirty flag.
 /// 2. `flush` (driver, at the window barrier) merges the outbox into
-///    `pending`, sorted by delivery time, and schedules a wake for the
-///    injector daemon at the earliest pending instant.
-/// 3. The injector daemon (destination lane) wakes at exactly the delivery
-///    instant and performs ordinary `SimChannel::send`s, so the receiving
-///    side sees a plain in-lane message with the correct timestamp, pick
-///    order, and trace emission.
+///    `pending`, sorted by delivery time, and pushes an *injection event*
+///    ([`LaneInjector`]) into the destination lane's queue at the earliest
+///    pending instant.
+/// 3. When the injection event pops — at exactly the delivery instant, on
+///    the destination lane — [`XShared::deliver_due`] runs under that
+///    lane's state lock and enqueues every due value with a deferred
+///    channel send, so the receiving side sees a plain in-lane message
+///    with the correct timestamp and pick order. No injector daemon, no
+///    daemon wake, no channel hop: a cross-lane frame costs one queue pop.
 struct XShared<T> {
     delay: SimDuration,
+    /// Destination lane index (for the driver's slot bookkeeping).
+    dst_lane: usize,
+    /// This link's index in the destination lane's injector table; carried
+    /// by every injection event the link arms.
+    idx: usize,
+    /// Set by `send`, cleared by `flush`; lets a quiet window skip the
+    /// outbox and pending locks entirely.
+    dirty: AtomicBool,
     /// `(delivery instant, value)` pairs sent during the current window, in
     /// send order (per-lane virtual time is monotone, so also time order).
     outbox: Mutex<Vec<(SimTime, T)>>,
     /// Flushed, undelivered values sorted by delivery instant (stable, so
     /// same-instant values keep flush order).
     pending: Mutex<PendingBox<T>>,
-    /// The injector daemon's current block registration: `(thread, wait
-    /// token)`, overwritten each time the daemon blocks. `flush` schedules
-    /// wakes against it; superseded wakes go stale harmlessly (the wake
-    /// table cancels them like any other dead generation).
-    waiting: Mutex<Option<(ThreadId, u64)>>,
     dst_core: Arc<Core>,
     dst: SimChannel<T>,
     /// `Arc::as_ptr` of the source lane's core, for the debug-only
@@ -204,84 +237,101 @@ struct XShared<T> {
 
 struct PendingBox<T> {
     q: VecDeque<(SimTime, T)>,
-    /// Earliest instant a wake is already queued for under the daemon's
-    /// current registration (`None` = none). Lets `flush` skip scheduling
-    /// duplicate wakes when nothing earlier arrived.
-    armed_at: Option<SimTime>,
+    /// Instants of this link's injection events currently queued in the
+    /// destination lane, strictly decreasing (a re-arm always beats every
+    /// existing arming, so the earliest — the next to fire — is the last
+    /// element). Usually one entry; superseded later events stay queued
+    /// and pop as harmless no-ops that advance the clock like any event.
+    armed: Vec<SimTime>,
 }
 
-impl<T: Send + 'static> XShared<T> {
-    /// Body of the injector daemon, spawned on the destination lane by
-    /// [`crate::Simulation::cross_link`].
-    fn injector_loop(self: &Arc<Self>, ctx: &Ctx) {
-        loop {
-            // Deliver everything due at the current instant, then note when
-            // the next pending value falls due. Also record that instant as
-            // armed: the self-timer below is scheduled before anything else
-            // can run on this lane, and flush only looks between windows.
-            let now = ctx.now();
-            let (due, next_at) = {
-                let mut p = self.pending.lock();
-                let mut due = Vec::new();
-                while p.q.front().is_some_and(|e| e.0 <= now) {
-                    due.push(p.q.pop_front().expect("peeked").1);
-                }
-                let next_at = p.q.front().map(|e| e.0);
-                p.armed_at = next_at;
-                (due, next_at)
-            };
-            for v in due {
-                let _ = self.dst.send(ctx, v);
-            }
-            {
-                let mut st = ctx.core().state.lock();
-                let wid = st.prepare_block(ctx.thread_id(), "xlink");
-                if let Some(at) = next_at {
-                    st.schedule_wake(at, ctx.thread_id(), wid);
-                }
-                drop(st);
-                *self.waiting.lock() = Some((ctx.thread_id(), wid));
-            }
-            if ctx.yield_blocked() == WakeStatus::Shutdown {
-                shutdown_unwind_unless_panicking();
-                return;
-            }
-        }
+impl<T> PendingBox<T> {
+    /// Whether a delivery at `front` needs a fresh injection event, i.e.
+    /// no queued one fires early enough.
+    fn needs_arm(&self, front: SimTime) -> bool {
+        self.armed.last().is_none_or(|&a| front < a)
     }
 }
 
-impl<T: Send> XPort for XShared<T> {
+impl<T: Send + 'static> LaneInjector for XShared<T> {
+    /// Runs on the destination lane when one of this link's injection
+    /// events pops at `now`: delivers every pending value due by `now` and
+    /// reports when the next one falls due (if no later queued injection
+    /// event covers it). Receiver wakes go through the deferred-send path,
+    /// which is the exact enqueue+wake sequence of an in-lane
+    /// `SimChannel::send` — same `(time, tie, seq)` draws, same pick order.
+    fn deliver_due(&self, st: &mut CoreState, now: SimTime) -> Option<SimTime> {
+        let mut p = self.pending.lock();
+        debug_assert_eq!(
+            p.armed.last().copied(),
+            Some(now),
+            "injection events fire in arming order"
+        );
+        p.armed.pop();
+        while p.q.front().is_some_and(|e| e.0 <= now) {
+            let (_, v) = p.q.pop_front().expect("peeked");
+            // A closed channel drops the value, like the daemon's send did.
+            if let Ok(Some(w)) = self.dst.send_deferred(v) {
+                let (t, wid) = w.into_parts();
+                st.schedule_wake_now(t, wid);
+            }
+        }
+        let front = p.q.front().map(|e| e.0)?;
+        if p.needs_arm(front) {
+            p.armed.push(front);
+            return Some(front);
+        }
+        None
+    }
+}
+
+impl<T: Send + 'static> XPort for XShared<T> {
     fn min_delay(&self) -> SimDuration {
         self.delay
     }
 
-    fn flush(&self, floor: SimTime) {
+    fn dst_lane(&self) -> usize {
+        self.dst_lane
+    }
+
+    fn flush(&self, floor: SimTime) -> FlushResult {
+        // Quiet link: nothing was sent since the last flush, and anything
+        // still pending already has an injection event queued (armed at
+        // flush or re-armed at delivery). One uncontended atomic, no locks.
+        if !self.dirty.swap(false, Ordering::Acquire) {
+            return FlushResult::Quiet;
+        }
         let out: Vec<(SimTime, T)> = std::mem::take(&mut *self.outbox.lock());
-        let mut p = self.pending.lock();
-        for (at, v) in out {
-            debug_assert!(
-                at >= floor,
-                "cross-shard injection below the committed window floor"
-            );
-            // Stable insert: later flushes of equal instants go after.
-            let pos = p.q.partition_point(|e| e.0 <= at);
-            p.q.insert(pos, (at, v));
-        }
-        let Some(front) = p.q.front().map(|e| e.0) else {
-            return;
-        };
-        let need = match p.armed_at {
-            None => true,
-            Some(a) => front < a,
-        };
-        if need {
-            if let Some((t, w)) = *self.waiting.lock() {
-                self.dst_core.state.lock().schedule_wake(front, t, w);
-                p.armed_at = Some(front);
+        let front = {
+            let mut p = self.pending.lock();
+            for (at, v) in out {
+                debug_assert!(
+                    at >= floor,
+                    "cross-shard injection below the committed window floor"
+                );
+                // Stable insert: later flushes of equal instants go after.
+                let pos = p.q.partition_point(|e| e.0 <= at);
+                p.q.insert(pos, (at, v));
             }
-            // No registration yet means the daemon's start wake is still
-            // queued; its first run arms the timer itself.
-        }
+            let front = match p.q.front().map(|e| e.0) {
+                Some(f) => f,
+                None => return FlushResult::Merged,
+            };
+            if !p.needs_arm(front) {
+                return FlushResult::Merged;
+            }
+            p.armed.push(front);
+            front
+            // Pending lock released before the destination state lock:
+            // barrier-time flushes and in-window deliveries never overlap
+            // (every lane is stopped here), but keeping the lock ranges
+            // disjoint keeps the ordering trivially sound.
+        };
+        self.dst_core
+            .state
+            .lock()
+            .schedule_injection(front, self.idx);
+        FlushResult::Armed(front)
     }
 }
 
@@ -327,6 +377,9 @@ impl<T: Send + 'static> XSender<T> {
         );
         let at = ctx.now() + self.shared.delay;
         self.shared.outbox.lock().push((at, value));
+        // Raised after the push; the window barrier orders both against the
+        // driver's flush, so Release is belt-and-braces, not load-bearing.
+        self.shared.dirty.store(true, Ordering::Release);
     }
 
     /// The link's fixed delivery delay.
@@ -335,42 +388,132 @@ impl<T: Send + 'static> XSender<T> {
     }
 }
 
-/// Builds a link's shared state and returns `(sender, port, injector)`
-/// for [`crate::Simulation::cross_link`] to wire up: the port goes into
-/// the driver's flush list and the injector closure is spawned as a daemon
-/// on the destination lane.
-#[allow(clippy::type_complexity)]
+/// Builds a link's shared state, registers its delivery hook with the
+/// destination lane, and returns `(sender, port)` for
+/// [`crate::Simulation::cross_link`] to wire up: the port goes into the
+/// driver's flush list; deliveries happen via barrier-time injection
+/// events, so no daemon is spawned anywhere.
 pub(crate) fn new_link<T: Send + 'static>(
     delay: SimDuration,
     src_core: &Arc<Core>,
     dst_core: &Arc<Core>,
+    dst_lane: usize,
     dst: SimChannel<T>,
-) -> (
-    XSender<T>,
-    Arc<dyn XPort>,
-    impl FnOnce(&Ctx) + Send + 'static,
-) {
+) -> (XSender<T>, Arc<dyn XPort>) {
     assert!(
         !delay.is_zero(),
         "cross-lane links need a positive delay: it is the lookahead that \
          makes parallel windows safe"
     );
+    let idx = dst_core.state.lock().injectors.len();
     let shared = Arc::new(XShared {
         delay,
+        dst_lane,
+        idx,
+        dirty: AtomicBool::new(false),
         outbox: Mutex::new(Vec::new()),
         pending: Mutex::new(PendingBox {
             q: VecDeque::new(),
-            armed_at: None,
+            armed: Vec::new(),
         }),
-        waiting: Mutex::new(None),
         dst_core: Arc::clone(dst_core),
         dst,
         src_core_addr: Arc::as_ptr(src_core) as usize,
     });
+    let registered = dst_core.register_injector(Arc::clone(&shared) as Arc<dyn LaneInjector>);
+    debug_assert_eq!(registered, idx);
     let sender = XSender {
         shared: Arc::clone(&shared),
     };
-    let port: Arc<dyn XPort> = Arc::clone(&shared) as Arc<dyn XPort>;
-    let injector = move |ctx: &Ctx| shared.injector_loop(ctx);
-    (sender, port, injector)
+    let port: Arc<dyn XPort> = shared as Arc<dyn XPort>;
+    (sender, port)
+}
+
+/// One lane's published position, written lock-free by whichever runner
+/// drove the lane last: the earliest queued instant (`u64::MAX` = drained)
+/// and the lane's cumulative event count. Lets the coordinator compute
+/// `T_min`, the summed event-budget check, and the idle-lane skip without
+/// touching any lane's state lock between windows.
+pub(crate) struct LaneSlot {
+    /// Nanoseconds of the lane's earliest queued event; `u64::MAX` when
+    /// the lane is drained.
+    pub next: AtomicU64,
+    /// Mirror of the lane's `events_processed`.
+    pub events: AtomicU64,
+}
+
+use std::sync::atomic::AtomicU64;
+
+/// Sense-reversing window gate: the coordinator opens each window by
+/// bumping a generation counter and the workers report completion by
+/// decrementing an active count — one atomic store-and-wait pair per
+/// window instead of the two `std::sync::Barrier` futex round trips the
+/// driver used to pay. Waiters spin briefly (multicore hosts only, same
+/// heuristic as the scheduler hand-off) and then `yield_now`, which on an
+/// oversubscribed host immediately schedules the runner holding the work —
+/// the profile that made the old barrier cost ~90 µs per window on the
+/// one-core reference container.
+pub(crate) struct WindowGate {
+    /// Window generation; bumped by [`WindowGate::open`].
+    gen: AtomicU64,
+    /// Workers still driving the current window.
+    active: AtomicUsize,
+    /// Worker count (runners minus the coordinator).
+    workers: usize,
+    /// Spin before yielding (multicore hosts).
+    spin: bool,
+}
+
+impl WindowGate {
+    pub(crate) fn new(workers: usize) -> WindowGate {
+        WindowGate {
+            gen: AtomicU64::new(0),
+            active: AtomicUsize::new(0),
+            workers,
+            spin: crate::core::spin_before_park(),
+        }
+    }
+
+    #[inline]
+    fn wait_until(&self, mut ready: impl FnMut() -> bool) {
+        if self.spin {
+            for _ in 0..128 {
+                if ready() {
+                    return;
+                }
+                std::hint::spin_loop();
+            }
+        }
+        while !ready() {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Coordinator: open the next window. The `active` store precedes the
+    /// generation bump, and every pre-window write (window bounds, lane
+    /// slots) precedes this call, so a worker's acquire on the generation
+    /// sees them all.
+    pub(crate) fn open(&self) {
+        self.active.store(self.workers, Ordering::Release);
+        self.gen.fetch_add(1, Ordering::Release);
+    }
+
+    /// Worker: block until a generation newer than `seen` opens; returns
+    /// the new generation.
+    pub(crate) fn wait_open(&self, seen: u64) -> u64 {
+        self.wait_until(|| self.gen.load(Ordering::Acquire) != seen);
+        self.gen.load(Ordering::Acquire)
+    }
+
+    /// Worker: report this window's lanes done. The release pairs with the
+    /// coordinator's acquire in [`WindowGate::wait_done`], publishing the
+    /// worker's slot stores.
+    pub(crate) fn done(&self) {
+        self.active.fetch_sub(1, Ordering::Release);
+    }
+
+    /// Coordinator: block until every worker reported done.
+    pub(crate) fn wait_done(&self) {
+        self.wait_until(|| self.active.load(Ordering::Acquire) == 0);
+    }
 }

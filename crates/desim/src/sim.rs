@@ -14,7 +14,7 @@ use crate::core::{
 };
 use crate::ctx::Ctx;
 use crate::fiber;
-use crate::shard::{self, LaneId, ShardCount, XPort, XSender};
+use crate::shard::{self, FlushResult, LaneId, LaneSlot, ShardCount, WindowGate, XPort, XSender};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{CounterSnapshot, TraceEvent, Tracer};
 
@@ -78,6 +78,35 @@ pub struct SimReport {
     pub events: u64,
     /// Per-processor accounting.
     pub procs: Vec<ProcReport>,
+}
+
+/// Window-engine accounting for the conservative windowed driver,
+/// cumulative across runs of one [`Simulation`] (see
+/// [`Simulation::window_stats`]). All-zero when only the classic serial
+/// loop ever ran.
+///
+/// Everything except `barrier_wait_ns` is deterministic for a given
+/// program, seed, and topology — independent of shard count and backend.
+/// `barrier_wait_ns` is wall-clock time the coordinator spent waiting for
+/// worker runners at the window gate and must never feed a result hash.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Windows opened (rounds of the windowed driver).
+    pub windows: u64,
+    /// Wake events processed under the windowed driver.
+    pub events: u64,
+    /// Cross-lane flushes that had traffic to merge.
+    pub flushes: u64,
+    /// Cross-lane flushes elided by the dirty-flag fast path (one relaxed
+    /// atomic swap, no lock).
+    pub flushes_elided: u64,
+    /// Lane-windows skipped because the lane's published next event lay at
+    /// or past the window edge (no state lock taken).
+    pub lanes_skipped: u64,
+    /// Wall-clock nanoseconds the coordinator spent in
+    /// [`crate::shard`]'s window gate waiting for worker runners. Zero on
+    /// single-runner hosts (the coordinator drives every lane itself).
+    pub barrier_wait_ns: u64,
 }
 
 /// Handle to a simulated thread.
@@ -168,6 +197,8 @@ pub struct Simulation {
     /// flush order, part of the deterministic merge.
     xports: Vec<Arc<dyn XPort>>,
     shards: ShardCount,
+    /// Cumulative window-engine accounting (see [`Simulation::window_stats`]).
+    window_stats: WindowStats,
     seed: u64,
     fiber_stack_size: usize,
     default_switch_cost: SimDuration,
@@ -269,6 +300,7 @@ impl SimulationBuilder {
             extra: Vec::new(),
             xports: Vec::new(),
             shards,
+            window_stats: WindowStats::default(),
             seed: self.seed,
             fiber_stack_size: self.fiber_stack_size,
             default_switch_cost: SimDuration::ZERO,
@@ -430,16 +462,19 @@ impl Simulation {
     ///
     /// Values sent through the returned [`XSender`] arrive on the `dst`
     /// channel exactly `delay` after the send instant, delivered by an
-    /// injector daemon spawned on (`dst_lane`, `dst_proc`) — so receivers
-    /// see ordinary in-lane channel messages with the correct timestamp and
-    /// pick order. `delay` must be positive: the minimum over all links is
-    /// the lookahead that makes parallel windows safe. `dst_proc` must be a
-    /// processor of `dst_lane`, and the sender must only be used from
-    /// `src_lane` (debug-asserted on send).
+    /// injection event the windowed driver arms directly into `dst_lane`'s
+    /// event queue at flush time — so receivers see ordinary in-lane
+    /// channel messages with the correct timestamp and pick order, with no
+    /// daemon wake or channel hop charged per frame. `delay` must be
+    /// positive: the minimum over all links is the lookahead that makes
+    /// parallel windows safe. `dst_proc` must be a processor of `dst_lane`
+    /// (kept for placement symmetry with the rest of the lane API), and the
+    /// sender must only be used from `src_lane` (debug-asserted on send).
     ///
     /// # Panics
     ///
-    /// Panics if `delay` is zero or the lanes are equal.
+    /// Panics if `delay` is zero, the lanes are equal, or `dst_proc` is not
+    /// a processor of `dst_lane`.
     pub fn cross_link<T: Send + 'static>(
         &mut self,
         name: &str,
@@ -454,14 +489,18 @@ impl Simulation {
             "cross_link connects two different lanes; same-lane traffic \
              uses plain channels"
         );
-        let (sender, port, injector) = shard::new_link(
+        assert!(
+            dst_proc.0 < self.lane_core(dst_lane).state.lock().procs.len(),
+            "cross_link {name}: {dst_proc:?} is not a processor of {dst_lane}"
+        );
+        let (sender, port) = shard::new_link(
             delay,
             self.lane_core(src_lane),
             self.lane_core(dst_lane),
+            dst_lane.index(),
             dst,
         );
         self.xports.push(port);
-        self.spawn_daemon_on_lane(dst_lane, dst_proc, &format!("xlink-{name}"), injector);
         sender
     }
 
@@ -629,21 +668,27 @@ impl Simulation {
 
     /// The conservative windowed driver (see [`crate::shard`] for the
     /// scheme and the bit-identity argument). Structure per round, with
-    /// every lane stopped between `done` and the next `start`:
+    /// every lane stopped between the gate's `done` and the next `open`:
     ///
-    /// 1. flush every cross-lane link, in registration order;
+    /// 1. flush every cross-lane link, in registration order (dirty links
+    ///    only — a quiet link costs one atomic swap);
     /// 2. stop if the target finished, a lane hit its event budget, or the
-    ///    summed budget is exhausted;
-    /// 3. `T_min` ← earliest queued instant over all lanes (none = done);
+    ///    summed budget is exhausted — all read from the lanes' published
+    ///    atomic slots, no state lock;
+    /// 3. `T_min` ← earliest published instant over all lanes (none = done);
     /// 4. open the window `[T_min, T_min + lookahead)` on every lane
     ///    (unbounded when no links exist — the lanes are independent);
     /// 5. advance all lanes to their window edge, in parallel across the
     ///    runner pool (lane→runner assignment is round-robin; any
-    ///    assignment is correct, parallelism only affects wall-clock).
+    ///    assignment is correct, parallelism only affects wall-clock). A
+    ///    lane whose published next event lies at or past the window edge
+    ///    is skipped without taking its state lock; each driven lane
+    ///    republishes its slot under the one lock acquisition it already
+    ///    pays.
     fn run_windowed(&mut self, stop: Option<(usize, ThreadId)>) -> Result<SimReport, SimError> {
         use std::panic;
-        use std::sync::atomic::{AtomicBool, AtomicU8, Ordering as AO};
-        use std::sync::Barrier;
+        use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering as AO};
+        use std::time::Instant;
 
         let cores: Vec<Arc<Core>> = self.cores().cloned().collect();
         let lanes = cores.len();
@@ -652,30 +697,69 @@ impl Simulation {
 
         const OUT_PAUSED: u8 = 0; // Drained or WindowEdge
         const OUT_LIMIT: u8 = 1;
+        const OUT_TARGET: u8 = 2;
         let outcomes: Vec<AtomicU8> = (0..lanes).map(|_| AtomicU8::new(OUT_PAUSED)).collect();
+        // A target that already finished in an earlier run must stop the
+        // driver before it runs a window (the pre-diet driver checked the
+        // target's thread state directly at the barrier).
+        if let Some((sl, t)) = stop {
+            if cores[sl].state.lock().threads[t.0].state == ThreadState::Finished {
+                outcomes[sl].store(OUT_TARGET, AO::Relaxed);
+            }
+        }
+        // Published lane positions: the coordinator's entire between-window
+        // bookkeeping (`T_min`, budget, target, idle-lane skip) reads these
+        // slots instead of taking lane state locks.
+        let slots: Vec<LaneSlot> = cores
+            .iter()
+            .map(|c| {
+                let st = c.state.lock();
+                LaneSlot {
+                    next: AtomicU64::new(st.peek_time().map_or(u64::MAX, |t| t.as_nanos())),
+                    events: AtomicU64::new(st.events_processed),
+                }
+            })
+            .collect();
+        let start_events: u64 = slots.iter().map(|s| s.events.load(AO::Relaxed)).sum();
+        let wend = AtomicU64::new(u64::MAX);
+        let skipped = AtomicU64::new(0);
         let panics: Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(Vec::new());
-        let start = Barrier::new(runners);
-        let done = Barrier::new(runners);
+        let gate = WindowGate::new(runners - 1);
         let exit = AtomicBool::new(false);
+        let mut stats = WindowStats::default();
 
-        // Advance every lane owned by `runner` to its window edge. A lane
-        // whose target finishes simply pauses (recorded as PAUSED); the
-        // driver re-checks the target state itself at the barrier.
+        // Advance every lane owned by `runner` to its window edge, then
+        // republish the lane's slot. Lanes with nothing below the window
+        // edge are skipped lock-free (their slots are already current).
         let drive = |runner: usize| {
+            let w = wend.load(AO::Acquire);
             for li in (runner..lanes).step_by(runners) {
+                if slots[li].next.load(AO::Relaxed) >= w {
+                    skipped.fetch_add(1, AO::Relaxed);
+                    continue;
+                }
                 let core = &cores[li];
                 let stop_t = stop.and_then(|(sl, t)| (sl == li).then_some(t));
                 let result = panic::catch_unwind(panic::AssertUnwindSafe(|| loop {
                     match core.step(stop_t) {
                         StepResult::Progress => {}
-                        StepResult::Drained
-                        | StepResult::WindowEdge
-                        | StepResult::TargetFinished => break OUT_PAUSED,
+                        StepResult::Drained | StepResult::WindowEdge => break OUT_PAUSED,
+                        StepResult::TargetFinished => break OUT_TARGET,
                         StepResult::LimitExceeded => break OUT_LIMIT,
                     }
                 }));
                 match result {
-                    Ok(o) => outcomes[li].store(o, AO::Release),
+                    Ok(o) => {
+                        {
+                            let st = core.state.lock();
+                            slots[li].next.store(
+                                st.peek_time().map_or(u64::MAX, |t| t.as_nanos()),
+                                AO::Relaxed,
+                            );
+                            slots[li].events.store(st.events_processed, AO::Relaxed);
+                        }
+                        outcomes[li].store(o, AO::Release);
+                    }
                     Err(p) => {
                         outcomes[li].store(OUT_PAUSED, AO::Release);
                         panics.lock().push((li, p));
@@ -687,16 +771,19 @@ impl Simulation {
         // Ok(true) = target finished, Ok(false) = drained, Err(()) = budget.
         let outcome: Result<bool, ()> = std::thread::scope(|s| {
             for r in 1..runners {
-                let (drive, start, done, exit) = (&drive, &start, &done, &exit);
+                let (drive, gate, exit) = (&drive, &gate, &exit);
                 std::thread::Builder::new()
                     .name(format!("desim-shard-{r}"))
-                    .spawn_scoped(s, move || loop {
-                        start.wait();
-                        if exit.load(AO::Acquire) {
-                            break;
+                    .spawn_scoped(s, move || {
+                        let mut gen = 0u64;
+                        loop {
+                            gen = gate.wait_open(gen);
+                            if exit.load(AO::Acquire) {
+                                break;
+                            }
+                            drive(r);
+                            gate.done();
                         }
-                        drive(r);
-                        done.wait();
                     })
                     .expect("failed to spawn shard runner");
             }
@@ -705,10 +792,24 @@ impl Simulation {
             let mut floor = SimTime::ZERO;
             let out = loop {
                 for xp in &self.xports {
-                    xp.flush(floor);
+                    match xp.flush(floor) {
+                        FlushResult::Quiet => stats.flushes_elided += 1,
+                        FlushResult::Merged => stats.flushes += 1,
+                        FlushResult::Armed(t) => {
+                            stats.flushes += 1;
+                            // Fold the armed instant into the destination's
+                            // published position so `T_min` and the skip see
+                            // it. Coordinator-only phase: plain load/store.
+                            let slot = &slots[xp.dst_lane()].next;
+                            let t_ns = t.as_nanos();
+                            if t_ns < slot.load(AO::Relaxed) {
+                                slot.store(t_ns, AO::Relaxed);
+                            }
+                        }
+                    }
                 }
-                if let Some((sl, t)) = stop {
-                    if cores[sl].state.lock().threads[t.0].state == ThreadState::Finished {
+                if let Some((sl, _)) = stop {
+                    if outcomes[sl].load(AO::Acquire) == OUT_TARGET {
                         break Ok(true);
                     }
                 }
@@ -719,33 +820,47 @@ impl Simulation {
                     // Per-lane budgets already bound each lane to `limit`;
                     // the summed check keeps an N-lane run from processing
                     // up to N× it.
-                    let total: u64 = cores.iter().map(|c| c.state.lock().events_processed).sum();
+                    let total: u64 = slots.iter().map(|sl| sl.events.load(AO::Relaxed)).sum();
                     if total >= limit {
                         break Err(());
                     }
                 }
-                let t_min = cores
+                let t_min = slots
                     .iter()
-                    .filter_map(|c| c.state.lock().peek_time())
-                    .min();
-                let Some(t_min) = t_min else {
+                    .map(|sl| sl.next.load(AO::Relaxed))
+                    .min()
+                    .expect("at least one lane");
+                if t_min == u64::MAX {
                     break Ok(false);
-                };
-                let window_end = lookahead.map(|la| t_min + la);
-                for c in &cores {
-                    c.state.lock().set_window(window_end, t_min);
                 }
-                start.wait();
+                let wend_ns = match lookahead {
+                    Some(la) => (SimTime::from_nanos(t_min) + la).as_nanos(),
+                    None => u64::MAX,
+                };
+                wend.store(wend_ns, AO::Relaxed);
+                for c in &cores {
+                    c.window_limit.store(wend_ns, AO::Relaxed);
+                }
+                #[cfg(debug_assertions)]
+                for c in &cores {
+                    c.state.lock().set_window_floor(SimTime::from_nanos(t_min));
+                }
+                stats.windows += 1;
+                gate.open();
                 drive(0);
-                done.wait();
-                if let Some(w) = window_end {
-                    floor = w;
+                if runners > 1 {
+                    let t0 = Instant::now();
+                    gate.wait_done();
+                    stats.barrier_wait_ns += t0.elapsed().as_nanos() as u64;
+                }
+                if wend_ns != u64::MAX {
+                    floor = SimTime::from_nanos(wend_ns);
                 }
                 if !panics.lock().is_empty() {
                     // Release the runner pool before unwinding, or it would
-                    // wait on `start` forever and the scope never joins.
+                    // wait at the gate forever and the scope never joins.
                     exit.store(true, AO::Release);
-                    start.wait();
+                    gate.open();
                     let (_, payload) = {
                         let mut ps = panics.lock();
                         ps.sort_by_key(|(li, _)| *li);
@@ -761,15 +876,32 @@ impl Simulation {
                 }
             };
             exit.store(true, AO::Release);
-            start.wait();
+            gate.open();
             out
         });
 
         // Leave no window bound behind: post-run accessors and later runs
         // (multi-phase workloads re-enter `run`) expect unbounded lanes.
         for c in &cores {
-            c.state.lock().set_window(None, SimTime::ZERO);
+            c.window_limit
+                .store(u64::MAX, std::sync::atomic::Ordering::Relaxed);
         }
+        #[cfg(debug_assertions)]
+        for c in &cores {
+            c.state.lock().set_window_floor(SimTime::ZERO);
+        }
+        stats.events = slots
+            .iter()
+            .map(|sl| sl.events.load(std::sync::atomic::Ordering::Relaxed))
+            .sum::<u64>()
+            - start_events;
+        stats.lanes_skipped = skipped.load(std::sync::atomic::Ordering::Relaxed);
+        self.window_stats.windows += stats.windows;
+        self.window_stats.events += stats.events;
+        self.window_stats.flushes += stats.flushes;
+        self.window_stats.flushes_elided += stats.flushes_elided;
+        self.window_stats.lanes_skipped += stats.lanes_skipped;
+        self.window_stats.barrier_wait_ns += stats.barrier_wait_ns;
         match outcome {
             Ok(true) => Ok(self.report()),
             Ok(false) => self.drained_result(stop.is_some()),
@@ -777,6 +909,15 @@ impl Simulation {
                 limit: self.max_events.expect("limit was configured"),
             }),
         }
+    }
+
+    /// Window-engine accounting, cumulative across runs (all-zero when only
+    /// the classic serial loop ever ran). Everything except
+    /// `barrier_wait_ns` is deterministic per program/seed/topology —
+    /// independent of shard count and backend; `barrier_wait_ns` is
+    /// wall-clock and must never feed a result hash.
+    pub fn window_stats(&self) -> WindowStats {
+        self.window_stats
     }
 
     /// Returns the current virtual time (on a multi-lane simulation: the

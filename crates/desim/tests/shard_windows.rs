@@ -9,7 +9,7 @@
 //! merges — matches a serial (`shards(1)`) reference execution exactly.
 //! Failures minimize through proptest's shrinking.
 
-use desim::{us, LaneId, SimChannel, SimTime, Simulation};
+use desim::{us, LaneId, SimChannel, SimTime, Simulation, WindowStats};
 use proptest::prelude::*;
 
 /// Everything observable about one run, for exact comparison.
@@ -22,6 +22,10 @@ struct Artifacts {
     proc_names: Vec<String>,
     trace_lines: Vec<String>,
     switches: Vec<u64>,
+    /// Window-engine accounting with the wall-clock gate wait zeroed —
+    /// window count, flush/elision split, and idle-lane skips are
+    /// properties of the program and must not depend on the shard count.
+    windows: WindowStats,
 }
 
 /// One lane's workload parameters (drawn by proptest, fixed per case).
@@ -116,6 +120,10 @@ fn run_ring(seed: u64, specs: &[LaneSpec], delays_us: &[u64], shards: usize) -> 
         proc_names: sim.proc_names(),
         trace_lines: sim.take_trace(),
         switches: report.procs.iter().map(|p| p.switches).collect(),
+        windows: WindowStats {
+            barrier_wait_ns: 0,
+            ..sim.window_stats()
+        },
     }
 }
 
@@ -210,8 +218,59 @@ fn two_lane_ring_is_shard_count_independent() {
     }
 }
 
+#[test]
+fn quiet_windows_elide_flush_work() {
+    // Lane 0 fires one early burst at lane 1, then lane 1 grinds through a
+    // long local program: every later window carries no cross traffic, so
+    // its flush must be elided (dirty-flag fast path) and drained lane 0
+    // skipped without taking its state lock.
+    let mut sim = Simulation::builder().seed(5).shards(2).build();
+    let l1 = sim.add_lane();
+    let p0 = sim.add_processor("m0");
+    let p1 = sim.add_processor_on(l1, "m1");
+    let inbox: SimChannel<u64> = SimChannel::new();
+    let tx = sim.cross_link("burst", us(10), LaneId::ZERO, l1, p1, inbox.clone());
+    sim.spawn(p0, "burst", move |ctx| {
+        for i in 0..3 {
+            tx.send(ctx, i);
+        }
+    });
+    sim.spawn_on_lane(l1, p1, "grind", move |ctx| {
+        for _ in 0..3 {
+            inbox.recv(ctx);
+        }
+        for _ in 0..200 {
+            ctx.sleep(us(3));
+        }
+    });
+    sim.run().expect("burst run completes");
+    let w = sim.window_stats();
+    assert!(w.windows > 10, "the grind spans many windows: {w:?}");
+    assert!(
+        w.flushes_elided > w.flushes,
+        "quiet windows dominate, so elisions must outnumber real flushes: {w:?}"
+    );
+    assert!(
+        w.lanes_skipped > 0,
+        "drained lane 0 must be skipped lock-free: {w:?}"
+    );
+    assert_eq!(w.events, sim.report().events);
+}
+
 fn lane_spec() -> impl Strategy<Value = LaneSpec> {
     (1u64..12, any::<bool>()).prop_map(|(rounds, compute)| LaneSpec { rounds, compute })
+}
+
+/// Like [`lane_spec`], but weighted toward fully idle lanes (no sender
+/// rounds at all) so the idle-lane skip and flush-elision fast paths are on
+/// the exercised path.
+fn sparse_lane_spec() -> impl Strategy<Value = LaneSpec> {
+    (0u64..12, any::<bool>(), any::<bool>()).prop_map(|(rounds, compute, idle)| LaneSpec {
+        // Half the draws collapse to a fully idle lane regardless of the
+        // rounds draw, so idle-heavy topologies are common, not rare.
+        rounds: if idle { 0 } else { rounds },
+        compute,
+    })
 }
 
 proptest! {
@@ -231,6 +290,33 @@ proptest! {
         for shards in [2usize, 0] {
             let other = run_ring(seed, &specs, &delays, shards);
             prop_assert_eq!(&reference, &other);
+        }
+    }
+
+    /// Topologies where lanes sit fully idle: the idle-lane skip and the
+    /// dirty-flag flush elision must not change a single observable — every
+    /// delivery instant, trace line, and clock matches the serial
+    /// (`shards=1`) reference exactly, and the window-engine counters
+    /// themselves are shard-count independent.
+    #[test]
+    fn idle_lanes_and_quiet_links_match_serial_reference(
+        seed in any::<u64>(),
+        specs in proptest::collection::vec(sparse_lane_spec(), 2..5),
+        delays in proptest::collection::vec(5u64..200, 4..5),
+    ) {
+        let delays = delays[..specs.len()].to_vec();
+        let reference = run_ring(seed, &specs, &delays, 1);
+        for shards in [2usize, 0] {
+            let other = run_ring(seed, &specs, &delays, shards);
+            prop_assert_eq!(&reference, &other);
+        }
+        // An idle lane's outbound link never turns dirty, so with at least
+        // one idle lane every window must elide at least one flush.
+        if specs.iter().any(|s| s.rounds == 0) {
+            prop_assert!(
+                reference.windows.flushes_elided >= reference.windows.windows,
+                "idle link never elided: {:?}", reference.windows
+            );
         }
     }
 }

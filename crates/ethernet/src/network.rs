@@ -291,7 +291,9 @@ struct SegmentInner {
     held: Vec<HeldDelivery>,
     /// Scheduler lane this segment's daemon runs on.
     lane: LaneId,
-    /// The segment daemon's processor (cross-lane injectors ride on it).
+    /// The segment daemon's processor (the cross-lane links' destination
+    /// placement; delivery itself is injected into the lane's event queue
+    /// at window-flush time, no daemon involved).
     proc: ProcId,
     /// Serialization rate of this medium (per-segment: a backbone segment
     /// may be faster than the default leaf bandwidth).

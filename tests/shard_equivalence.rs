@@ -283,6 +283,109 @@ fn faulted_multiseg(seed: u64) -> LanedArtifacts {
     }
 }
 
+/// A switch world where most lanes sit idle: eight segments on eight
+/// scheduler lanes behind one switch, with traffic only between stations 0
+/// (home segment 0) and 1 (home segment 4). The six idle lanes drain
+/// immediately and their links never turn dirty, so every window exercises
+/// the window engine's idle-lane skip and dirty-flag flush elision — while
+/// the full observable surface must stay byte-identical across shard
+/// counts and backends.
+fn many_idle_lanes(seed: u64) -> (LanedArtifacts, desim::WindowStats) {
+    let mut sim = Simulation::builder().seed(seed).build();
+    sim.enable_tracing_with_capacity(1 << 15);
+    sim.enable_trace();
+    let mut net = Network::new(NetConfig::default());
+    let lanes: Vec<LaneId> = (0..8)
+        .map(|i| if i == 0 { LaneId::ZERO } else { sim.add_lane() })
+        .collect();
+    let segs: Vec<SegmentId> = (0..8)
+        .map(|i| net.add_segment_on(&mut sim, &format!("s{i}"), lanes[i]))
+        .collect();
+    net.add_switch(&mut sim, &segs, "sw");
+
+    let homes = [0usize, 4];
+    let counts: Vec<Arc<AtomicU64>> = (0..2).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    for (i, &home) in homes.iter().enumerate() {
+        let lane = lanes[home];
+        let nic = net.attach(MacAddr(i as u32), segs[home]);
+        let dst = MacAddr(((i + 1) % 2) as u32);
+        let proc = sim.add_processor_on(lane, &format!("station{i}"));
+        sim.spawn_on_lane(lane, proc, &format!("tx{i}"), {
+            let nic = nic.clone();
+            move |ctx| {
+                let payload = bytes::Bytes::from_static(&[0xCD; 32]);
+                for round in 0..12u64 {
+                    ctx.sleep(us(41 + 17 * round));
+                    nic.send(ctx, Dest::Unicast(dst), payload.clone());
+                }
+            }
+        });
+        let count = Arc::clone(&counts[i]);
+        sim.spawn_daemon_on_lane(lane, proc, &format!("rx{i}"), move |ctx| {
+            while nic.rx().recv(ctx).is_some() {
+                count.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    }
+
+    let report = sim.run().expect("idle-lane world drains");
+    let artifacts = LanedArtifacts {
+        events: report.events,
+        final_time: report.final_time,
+        lane_times: lanes.iter().map(|&l| sim.lane_now(l)).collect(),
+        rx_counts: counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        stats: net.total_stats(),
+        lane_traces: lanes
+            .iter()
+            .map(|&l| {
+                sim.lane_trace_events(l)
+                    .iter()
+                    .map(|e| e.render())
+                    .collect()
+            })
+            .collect(),
+        trace_lines: sim.take_trace(),
+    };
+    // The gate wait is wall-clock; everything else in the block is part of
+    // the deterministic surface and compared across cells below.
+    let windows = desim::WindowStats {
+        barrier_wait_ns: 0,
+        ..sim.window_stats()
+    };
+    (artifacts, windows)
+}
+
+#[test]
+fn many_idle_lane_topology_pins_the_skip_path() {
+    let runs = on_each_backend_and_shard_count(|| many_idle_lanes(0x1D7E));
+    let (b0, s0, (first, first_w)) = &runs[0];
+
+    assert!(
+        first.rx_counts[0] > 0 && first.rx_counts[1] > 0,
+        "the two live stations must exchange traffic: {:?}",
+        first.rx_counts
+    );
+    assert!(first_w.windows > 1, "the run spans windows: {first_w:?}");
+    assert!(
+        first_w.lanes_skipped > 0,
+        "idle lanes must be skipped lock-free: {first_w:?}"
+    );
+    assert!(
+        first_w.flushes_elided > first_w.flushes,
+        "quiet links dominate this topology: {first_w:?}"
+    );
+
+    for (backend, shards, (artifacts, w)) in &runs[1..] {
+        assert_eq!(
+            (first, first_w),
+            (artifacts, w),
+            "idle-lane observables diverged: {b0}/shards={} vs {backend}/shards={}",
+            shards_label(*s0),
+            shards_label(*shards)
+        );
+    }
+}
+
 #[test]
 fn faulted_multilane_topology_is_shard_count_independent() {
     let runs = on_each_backend_and_shard_count(|| faulted_multiseg(0xD15C));
