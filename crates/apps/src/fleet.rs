@@ -348,6 +348,11 @@ pub struct FleetReport {
     /// wall-clock, which is why this block never feeds
     /// [`FleetReport::result_hash`].
     pub window_stats: desim::WindowStats,
+    /// Event-queue accounting summed over every scheduler lane (peak depth,
+    /// tier routing, cascades). Deterministic per spec, but diagnostic — it
+    /// describes *how* the queue ran, not *what* the fleet computed — so it
+    /// stays out of [`FleetReport::result_hash`].
+    pub queue_stats: desim::QueueStats,
 }
 
 impl FleetReport {
@@ -447,19 +452,26 @@ impl FleetWorld {
             wire_bytes: net_stats.wire_bytes,
             sim_events: report.events,
             window_stats: self.sim.window_stats(),
+            queue_stats: self.sim.queue_stats(),
         }
     }
 }
 
 /// Boots the fleet described by `spec` without running it.
 pub fn build_fleet(spec: &FleetSpec, backend: Backend, shards: usize) -> FleetWorld {
+    let topo_spec = spec.topology();
+    // Every machine runs a netisr daemon plus one to six role threads; three
+    // per machine covers the client-heavy lanes that dominate at scale.
+    // Purely a sizing hint — run results are identical without it.
+    let expected = topo_spec.max_machines_per_lane() as usize * 3;
     let mut sim = Simulation::builder()
         .seed(spec.seed)
         .backend(backend)
         .shards(shards)
+        .expected_threads(expected)
         .build();
     let mut net = Network::new(NetConfig::default());
-    let topo = spec.topology().build(&mut sim, &mut net, "fleet");
+    let topo = topo_spec.build(&mut sim, &mut net, "fleet");
     let cost = Arc::new(CostModel::default());
     let machines: Vec<Machine> = (0..spec.machines)
         .map(|i| {

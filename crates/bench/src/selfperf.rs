@@ -13,7 +13,11 @@
 //!   fan-out enqueuing on all members at once;
 //! - **queue**: dozens of sleepers on staggered strides, keeping that many
 //!   timers simultaneously live in the far tier of the event queue — pure
-//!   queue churn, every pop re-pushing into a deep heap.
+//!   queue churn, every pop re-pushing into the far tier;
+//!
+//! - **timers**: the same churn at fleet depth — ~10k sleepers holding ~10k
+//!   pending timers across many timer-wheel slots and levels, the workload
+//!   the hierarchical-wheel far tier exists for;
 //!
 //! - **shards**: four Ethernet segments on four scheduler lanes exchanging
 //!   unicast traffic through a cross-lane switch — every window gate,
@@ -52,7 +56,7 @@ use std::time::Instant;
 use apps::fleet::{build_fleet, FleetSpec, FleetStack};
 use chaos::{run_chaos, ChaosConfig, Stack};
 use desim::par::par_map;
-use desim::{Backend, LaneId, SimChannel, SimDuration, Simulation, WindowStats};
+use desim::{Backend, LaneId, QueueStats, SimChannel, SimDuration, Simulation, WindowStats};
 use ethernet::{Dest, MacAddr, McastAddr, NetConfig, Network, SegmentId};
 
 /// A hot-path measurement more than this factor over its recorded baseline
@@ -73,6 +77,8 @@ pub struct BackendBaselines {
     pub fanout: f64,
     /// Deep-queue churn baseline.
     pub queue: f64,
+    /// Fleet-depth timer churn (timer-wheel) baseline.
+    pub timers: f64,
     /// Sharded multi-segment (windowed driver) baseline.
     pub shards: f64,
     /// Open-loop client-fleet baseline.
@@ -91,6 +97,7 @@ pub fn baselines_for(backend: Backend) -> BackendBaselines {
             sleepstorm: 64.0,
             fanout: 1800.0,
             queue: 2000.0,
+            timers: 40000.0,
             shards: 2800.0,
             fleet: 4200.0,
             note: "re-pinned at the 10% gate's introduction to the top of the \
@@ -100,7 +107,11 @@ pub fn baselines_for(backend: Backend) -> BackendBaselines {
                    shards/fleet re-pinned when the window-engine diet landed \
                    (medians 1863/2965 over 3 full runs, observed bands 1851-2159 and \
                    2955-3218; pinned ~1.3x the top of the band because two runner \
-                   threads time-slice the reference core and the noise band is wide)",
+                   threads time-slice the reference core and the noise band is wide); \
+                   timers first pinned with the timer-wheel far tier (median 30238 \
+                   observed; ~1.3x because 10k OS threads time-slicing one core put \
+                   the futex hand-off, not the queue, on the critical path and the \
+                   band is wide)",
         },
         Backend::Fibers => BackendBaselines {
             backend,
@@ -108,6 +119,7 @@ pub fn baselines_for(backend: Backend) -> BackendBaselines {
             sleepstorm: 75.0,
             fanout: 170.0,
             queue: 110.0,
+            timers: 900.0,
             shards: 600.0,
             fleet: 1000.0,
             note: "first recording, pinned when the fiber backend landed \
@@ -115,7 +127,10 @@ pub fn baselines_for(backend: Backend) -> BackendBaselines {
                    shards/fleet re-pinned when the window-engine diet landed \
                    (medians 420/687 over 3 full runs, observed bands 418-448 and \
                    668-768; pinned ~1.3x the top of the band because two runner \
-                   threads time-slice the reference core and the noise band is wide)",
+                   threads time-slice the reference core and the noise band is wide); \
+                   timers first pinned with the timer-wheel far tier (median 665 \
+                   observed, 3.4x the binary-heap far tier's 2242 on the same \
+                   workload; pinned ~1.3x the observed median until a band exists)",
         },
     }
 }
@@ -131,6 +146,11 @@ pub struct HotPath {
     /// windowed driver (`shards`, `fleet`) so window-engine regressions are
     /// diagnosable from the CI artifact alone.
     pub windows: Option<WindowStats>,
+    /// Event-queue accounting (peak depth, tier routing, cascades), present
+    /// on the benches whose cost lives in the queue itself (`queue`,
+    /// `timers`, `fleet`) so a far-tier routing or depth regression is
+    /// diagnosable from the CI artifact alone.
+    pub queue: Option<QueueStats>,
 }
 
 impl HotPath {
@@ -176,6 +196,7 @@ pub fn pingpong(backend: Backend, rounds: u64) -> HotPath {
         events: sim.report().events,
         wall_ns: t0.elapsed().as_nanos() as u64,
         windows: None,
+        queue: None,
     }
 }
 
@@ -195,6 +216,7 @@ pub fn sleepstorm(backend: Backend, wakes: u64) -> HotPath {
         events: sim.report().events,
         wall_ns: t0.elapsed().as_nanos() as u64,
         windows: None,
+        queue: None,
     }
 }
 
@@ -232,6 +254,7 @@ pub fn fanout(backend: Backend, members: u32, frames: u64) -> HotPath {
         events: sim.report().events,
         wall_ns: t0.elapsed().as_nanos() as u64,
         windows: None,
+        queue: None,
     }
 }
 
@@ -253,10 +276,50 @@ pub fn queue_churn(backend: Backend, sleepers: u32, wakes: u64) -> HotPath {
     }
     let t0 = Instant::now();
     sim.run().expect("queue churn completes");
+    let stats = sim.queue_stats();
     HotPath {
         events: sim.report().events,
         wall_ns: t0.elapsed().as_nanos() as u64,
         windows: None,
+        queue: Some(stats),
+    }
+}
+
+/// Deep-timer stress at fleet depth: `sleepers` threads (~10k, the pending
+/// timer population of a 10k-machine open-loop fleet lane) each sleeping
+/// `wakes` times on distinct staggered strides spread over four decades, so
+/// the far tier permanently holds `sleepers` live timers across many slot
+/// and level boundaries. Unlike `queue_churn` (64 sleepers — the queue on
+/// the thread-hand-off path), this isolates the cost of the far-tier data
+/// structure itself at true fleet depth: every event is a pop from, plus a
+/// re-push into, a ~10k-deep timer set.
+pub fn timers(backend: Backend, sleepers: u32, wakes: u64) -> HotPath {
+    // The one selfperf world big enough for pre-sizing to matter: pass the
+    // sleeper count as the capacity hint, same as the fleet builder does.
+    let mut sim = Simulation::builder()
+        .seed(23)
+        .backend(backend)
+        .expected_threads(sleepers as usize)
+        .build();
+    for i in 0..sleepers {
+        let proc = sim.add_processor(&format!("p{i}"));
+        // Strides 501..=10_473 ns, coprime-stepped so no two nearby sleepers
+        // share one; pending timers spread across wheel levels 0-2.
+        let stride = 501 + u64::from(i * 37 % 9973);
+        sim.spawn(proc, &format!("t{i}"), move |ctx| {
+            for _ in 0..wakes {
+                ctx.sleep(SimDuration::from_nanos(stride));
+            }
+        });
+    }
+    let t0 = Instant::now();
+    sim.run().expect("timers completes");
+    let stats = sim.queue_stats();
+    HotPath {
+        events: sim.report().events,
+        wall_ns: t0.elapsed().as_nanos() as u64,
+        windows: None,
+        queue: Some(stats),
     }
 }
 
@@ -309,6 +372,7 @@ pub fn multiseg(backend: Backend, shards: usize, frames: u64) -> HotPath {
         events: sim.report().events,
         wall_ns: t0.elapsed().as_nanos() as u64,
         windows: Some(sim.window_stats()),
+        queue: None,
     }
 }
 
@@ -340,6 +404,7 @@ pub fn fleet(backend: Backend, machines: u32, duration_ms: u64) -> HotPath {
         events: report.sim_events,
         wall_ns: t0.elapsed().as_nanos() as u64,
         windows: Some(report.window_stats),
+        queue: Some(report.queue_stats),
     }
 }
 
@@ -484,6 +549,8 @@ pub struct BackendHotPaths {
     pub fanout: HotPath,
     /// Deep-queue timer-churn hot path.
     pub queue: HotPath,
+    /// Fleet-depth timer-wheel churn hot path.
+    pub timers: HotPath,
     /// Sharded multi-segment (windowed driver) hot path.
     pub shards: HotPath,
     /// Open-loop client-fleet hot path.
@@ -491,15 +558,16 @@ pub struct BackendHotPaths {
 }
 
 impl BackendHotPaths {
-    /// The six measurements with their names and recorded baselines, for
+    /// The seven measurements with their names and recorded baselines, for
     /// print and gate loops.
-    pub fn named(&self) -> [(&'static str, HotPath, f64); 6] {
+    pub fn named(&self) -> [(&'static str, HotPath, f64); 7] {
         let b = baselines_for(self.backend);
         [
             ("pingpong", self.pingpong, b.pingpong),
             ("sleepstorm", self.sleepstorm, b.sleepstorm),
             ("fanout", self.fanout, b.fanout),
             ("queue", self.queue, b.queue),
+            ("timers", self.timers, b.timers),
             ("shards", self.shards, b.shards),
             ("fleet", self.fleet, b.fleet),
         ]
@@ -647,8 +715,15 @@ impl SelfPerfReport {
                 w.barrier_wait_ns
             )
         }
+        fn queue_stats(q: &QueueStats) -> String {
+            format!(
+                "{{\"peak_depth\": {}, \"near_pushes\": {}, \"wheel_pushes\": {}, \
+                 \"overflow_pushes\": {}, \"cascades\": {}}}",
+                q.peak_depth, q.near_pushes, q.wheel_pushes, q.overflow_pushes, q.cascades
+            )
+        }
         fn hot(h: &HotPath) -> String {
-            let base = format!(
+            let mut base = format!(
                 "\"events\": {}, \"wall_ns\": {}, \"ns_per_event\": {:.1}, \
                  \"events_per_sec\": {:.0}",
                 h.events,
@@ -656,21 +731,25 @@ impl SelfPerfReport {
                 h.ns_per_event(),
                 h.events_per_sec()
             );
-            match &h.windows {
-                Some(w) => format!("{{{base}, \"windows\": {}}}", win(w)),
-                None => format!("{{{base}}}"),
+            if let Some(w) = &h.windows {
+                base = format!("{base}, \"windows\": {}", win(w));
             }
+            if let Some(q) = &h.queue {
+                base = format!("{base}, \"queue\": {}", queue_stats(q));
+            }
+            format!("{{{base}}}")
         }
         fn backend_block(b: &BackendHotPaths) -> String {
             format!(
                 "\"{}\": {{\n      \"pingpong\": {},\n      \"sleepstorm\": {},\n      \
-                 \"fanout\": {},\n      \"queue\": {},\n      \"shards\": {},\n      \
-                 \"fleet\": {}\n    }}",
+                 \"fanout\": {},\n      \"queue\": {},\n      \"timers\": {},\n      \
+                 \"shards\": {},\n      \"fleet\": {}\n    }}",
                 b.backend,
                 hot(&b.pingpong),
                 hot(&b.sleepstorm),
                 hot(&b.fanout),
                 hot(&b.queue),
+                hot(&b.timers),
                 hot(&b.shards),
                 hot(&b.fleet)
             )
@@ -678,9 +757,17 @@ impl SelfPerfReport {
         fn baseline_block(b: &BackendBaselines) -> String {
             format!(
                 "\"{}\": {{\"pingpong\": {:.1}, \"sleepstorm\": {:.1}, \
-                 \"fanout\": {:.1}, \"queue\": {:.1}, \"shards\": {:.1}, \
-                 \"fleet\": {:.1},\n      \"note\": \"{}\"}}",
-                b.backend, b.pingpong, b.sleepstorm, b.fanout, b.queue, b.shards, b.fleet, b.note
+                 \"fanout\": {:.1}, \"queue\": {:.1}, \"timers\": {:.1}, \
+                 \"shards\": {:.1}, \"fleet\": {:.1},\n      \"note\": \"{}\"}}",
+                b.backend,
+                b.pingpong,
+                b.sleepstorm,
+                b.fanout,
+                b.queue,
+                b.timers,
+                b.shards,
+                b.fleet,
+                b.note
             )
         }
         fn world(w: &WorldFootprint, baseline: f64) -> String {
@@ -713,7 +800,7 @@ impl SelfPerfReport {
             .collect();
         let mb = memory_baselines_for(self.memory.backend);
         format!(
-            "{{\n  \"schema\": \"selfperf-v6\",\n  \"generated_by\": \
+            "{{\n  \"schema\": \"selfperf-v7\",\n  \"generated_by\": \
              \"cargo bench -p bench --bench selfperf\",\n  \"quick\": {},\n  \
              \"host_cores\": {},\n  \"gate_regression_factor\": {:.2},\n  \
              \"hot_path\": {{\n    {}\n  }},\n  \"baseline_ns_per_event\": {{\n    \
@@ -766,10 +853,10 @@ pub fn measured_backends() -> Vec<Backend> {
 pub fn measure_backend(backend: Backend, quick: bool) -> BackendHotPaths {
     // Median-of-3 even on the quick CI workload: the 10% gate cannot
     // tolerate single-run cold-start outliers.
-    let (rounds, wakes, frames, churn, xframes, fleet_m, fleet_ms, reps) = if quick {
-        (10_000, 20_000, 200, 500, 100, 48, 20, 3)
+    let (rounds, wakes, frames, churn, twakes, xframes, fleet_m, fleet_ms, reps) = if quick {
+        (10_000, 20_000, 200, 500, 10, 100, 48, 20, 3)
     } else {
-        (100_000, 200_000, 2_000, 5_000, 1_000, 96, 60, 3)
+        (100_000, 200_000, 2_000, 5_000, 50, 1_000, 96, 60, 3)
     };
     BackendHotPaths {
         backend,
@@ -777,6 +864,8 @@ pub fn measure_backend(backend: Backend, quick: bool) -> BackendHotPaths {
         sleepstorm: median_of(reps, || sleepstorm(backend, wakes)),
         fanout: median_of(reps, || fanout(backend, 32, frames)),
         queue: median_of(reps, || queue_churn(backend, 64, churn)),
+        // Fleet depth: 10k pending timers, the wheel's design point.
+        timers: median_of(reps, || timers(backend, 10_000, twakes)),
         // Two runner threads even on a 1-core host, so the windowed
         // driver's barrier hand-off is always on the measured path.
         shards: median_of(reps, || multiseg(backend, 2, xframes)),
@@ -925,6 +1014,13 @@ mod tests {
                 lanes_skipped: k,
                 barrier_wait_ns: 100 * k,
             }),
+            queue: (k >= 13).then_some(QueueStats {
+                peak_depth: 100 * k,
+                near_pushes: 20 * k,
+                wheel_pushes: 30 * k,
+                overflow_pushes: k,
+                cascades: 2 * k,
+            }),
         };
         let report = SelfPerfReport {
             quick: true,
@@ -936,6 +1032,7 @@ mod tests {
                     sleepstorm: hot(2),
                     fanout: hot(3),
                     queue: hot(4),
+                    timers: hot(13),
                     shards: hot(9),
                     fleet: hot(11),
                 },
@@ -945,6 +1042,7 @@ mod tests {
                     sleepstorm: hot(6),
                     fanout: hot(7),
                     queue: hot(8),
+                    timers: hot(14),
                     shards: hot(10),
                     fleet: hot(12),
                 },
@@ -967,6 +1065,7 @@ mod tests {
                     events: 120,
                     wall_ns: 6000,
                     windows: None,
+                    queue: None,
                 },
                 runners: 4,
                 host_cores: 4,
@@ -988,7 +1087,7 @@ mod tests {
         };
         let json = report.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert!(json.contains("\"schema\": \"selfperf-v6\""));
+        assert!(json.contains("\"schema\": \"selfperf-v7\""));
         assert!(json.contains("\"fibers\""));
         assert!(json.contains("\"os-threads\""));
         assert!(json.contains("\"gate_regression_factor\": 1.10"));
@@ -1011,6 +1110,38 @@ mod tests {
             json.contains("\"barrier_wait_ns\": 1200"),
             "fleet windows block"
         );
+        // The queue-heavy benches carry a nested queue block next to the
+        // windows block.
+        assert!(json.contains("\"wheel_pushes\": 390"), "timers queue block");
+        assert!(json.contains("\"cascades\": 26"), "timers queue block");
+    }
+
+    /// Not a test: the measurement helper behind the EXPERIMENTS.md queue
+    /// depth-sweep table. Prints ns/event for the churn workload at 64 / 1k /
+    /// 10k pending timers plus the `timers` hot path, on every backend.
+    /// Run with `cargo test -p bench --release depth_sweep -- --ignored --nocapture`.
+    #[test]
+    #[ignore = "measurement helper, not a correctness test"]
+    fn depth_sweep() {
+        for backend in measured_backends() {
+            for sleepers in [64u32, 1_000, 10_000] {
+                // Hold events-per-sleeper roughly constant so every depth
+                // measures steady-state churn, not boot.
+                let wakes = (640_000 / sleepers as u64).max(10);
+                let h = median_of(3, || queue_churn(backend, sleepers, wakes));
+                println!(
+                    "{backend:>10} depth={sleepers:>6} events={:>8} ns/event={:>7.1}",
+                    h.events,
+                    h.ns_per_event()
+                );
+            }
+            let h = median_of(3, || timers(backend, 10_000, 10));
+            println!(
+                "{backend:>10} timers depth=10000 events={:>8} ns/event={:>7.1}",
+                h.events,
+                h.ns_per_event()
+            );
+        }
     }
 
     #[test]

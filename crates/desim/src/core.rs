@@ -357,10 +357,13 @@ impl WakeTable {
 
     /// Consumes one popped event: `true` if it is the live wake for
     /// `thread` (disarming it), `false` if it is a cancelled generation
-    /// (counted as stale).
-    fn consume(&mut self, thread: ThreadId, gen: u64) -> bool {
+    /// (counted as stale). The event carries its generation truncated to
+    /// `u32` (see [`Event`]), so the compare is exact modulo `2^32` —
+    /// still deterministic, and a false match would need one thread to
+    /// block exactly `2^32` times while a single wake stays in flight.
+    fn consume(&mut self, thread: ThreadId, gen: u32) -> bool {
         let slot = &mut self.slots[thread.0];
-        if slot.waiting && slot.gen == gen {
+        if slot.waiting && slot.gen as u32 == gen {
             slot.waiting = false;
             true
         } else {
@@ -485,13 +488,7 @@ impl CoreState {
             Some(rng) => rng.random(),
             None => 0,
         };
-        self.queue.push(Event {
-            time: at,
-            tie,
-            seq,
-            thread,
-            wait_id,
-        });
+        self.queue.push(Event::new(at, tie, seq, thread, wait_id));
     }
 
     /// Schedules a wake at the current instant (ordered after everything
@@ -552,22 +549,23 @@ impl CoreState {
             debug_assert!(ev.time >= self.now);
             self.now = ev.time;
             self.events_processed += 1;
-            if ev.thread == INJECT_THREAD {
+            let thread = ev.thread();
+            if thread == INJECT_THREAD {
                 // A cross-lane injection event: deliver everything due on
                 // the link it belongs to, then queue its next firing. The
                 // pop above already advanced the clock and the event count,
                 // exactly like the injector-daemon wake it replaces.
-                let idx = ev.wait_id as usize;
+                let idx = ev.wait_gen() as usize;
                 let inj = Arc::clone(&self.injectors[idx]);
                 if let Some(next) = inj.deliver_due(self, ev.time) {
                     self.schedule_injection(next, idx);
                 }
                 continue;
             }
-            if self.wake.consume(ev.thread, ev.wait_id) {
-                self.threads[ev.thread.0].state = ThreadState::Running;
-                self.trace_event(ev.thread, Layer::Sched, Phase::Instant, "wake", &[]);
-                return NextEvent::Live(ev.thread);
+            if self.wake.consume(thread, ev.wait_gen()) {
+                self.threads[thread.0].state = ThreadState::Running;
+                self.trace_event(thread, Layer::Sched, Phase::Instant, "wake", &[]);
+                return NextEvent::Live(thread);
             }
             // Cancelled generation — one dense-slot load recognized it; no
             // thread record was touched. The clock tick above is deliberate
@@ -577,6 +575,11 @@ impl CoreState {
 
     pub(crate) fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+
+    /// This lane's queue accounting (see [`crate::QueueStats`]).
+    pub(crate) fn queue_stats(&self) -> crate::queue::QueueStats {
+        self.queue.stats()
     }
 
     /// The earliest queued instant on this lane (see `EventQueue::peek_time`).
@@ -597,13 +600,12 @@ impl CoreState {
             Some(rng) => rng.random(),
             None => 0,
         };
-        self.queue.push(Event {
-            time: at,
-            tie,
-            seq,
-            thread: INJECT_THREAD,
-            wait_id: injector as u64,
-        });
+        debug_assert!(
+            injector < u32::MAX as usize,
+            "injector index overflows the packed event"
+        );
+        self.queue
+            .push(Event::new(at, tie, seq, INJECT_THREAD, injector as u64));
     }
 
     /// Records the committed window floor backing `queue.rs`'s push
@@ -678,12 +680,21 @@ pub(crate) enum StepResult {
 }
 
 impl Core {
-    pub(crate) fn new(seed: u64, backend: Backend, fiber_stack_size: usize) -> Arc<Core> {
+    /// `queue_capacity` is the expected peak pending-event population of
+    /// this lane (the `expected_threads` builder hint; boot schedules one
+    /// start wake per thread, all at the same instant). Floored at the
+    /// historical 256 default so un-hinted worlds lose nothing.
+    pub(crate) fn new(
+        seed: u64,
+        backend: Backend,
+        fiber_stack_size: usize,
+        queue_capacity: usize,
+    ) -> Arc<Core> {
         Arc::new(Core {
             state: Mutex::new(CoreState {
                 now: SimTime::ZERO,
                 seq: 0,
-                queue: EventQueue::with_capacity(256),
+                queue: EventQueue::with_capacity(queue_capacity.max(256)),
                 threads: Vec::new(),
                 wake: WakeTable::new(),
                 procs: Vec::new(),

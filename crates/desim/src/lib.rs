@@ -55,11 +55,13 @@ mod sim;
 mod sync;
 mod time;
 pub mod trace;
+mod wheel;
 
 pub use backend::{set_backend_override, Backend};
 pub use channel::{PendingWake, RecvTimeoutError, SendError, SimChannel};
 pub use core::{ProcId, ThreadId};
 pub use ctx::{Ctx, SwitchCharge};
+pub use queue::QueueStats;
 pub use shard::{set_shards_override, LaneId, XSender};
 pub use sim::{
     ProcReport, SimError, SimReport, Simulation, SimulationBuilder, ThreadHandle, WindowStats,

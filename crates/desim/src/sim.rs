@@ -14,6 +14,7 @@ use crate::core::{
 };
 use crate::ctx::Ctx;
 use crate::fiber;
+use crate::queue::QueueStats;
 use crate::shard::{self, FlushResult, LaneId, LaneSlot, ShardCount, WindowGate, XPort, XSender};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{CounterSnapshot, TraceEvent, Tracer};
@@ -201,6 +202,9 @@ pub struct Simulation {
     window_stats: WindowStats,
     seed: u64,
     fiber_stack_size: usize,
+    /// Per-lane queue capacity hint (see
+    /// [`SimulationBuilder::expected_threads`]); mirrored onto added lanes.
+    expected_threads: usize,
     default_switch_cost: SimDuration,
     // Configuration mirrored onto lanes created after the setter ran:
     max_events: Option<u64>,
@@ -243,6 +247,7 @@ pub struct SimulationBuilder {
     backend: Option<Backend>,
     fiber_stack_size: usize,
     shards: Option<usize>,
+    expected_threads: usize,
 }
 
 impl SimulationBuilder {
@@ -283,6 +288,18 @@ impl SimulationBuilder {
         self
     }
 
+    /// Capacity hint: the expected number of simulated threads on the
+    /// busiest scheduler lane (for a single-lane world, the whole world).
+    /// Boot schedules one start wake per spawned thread — all at the same
+    /// instant — so every lane's event queue pre-sizes its storage from
+    /// this instead of re-allocating while the world spins up. Purely a
+    /// performance hint: any value (including the 0 default) is observably
+    /// identical.
+    pub fn expected_threads(mut self, threads: usize) -> Self {
+        self.expected_threads = threads;
+        self
+    }
+
     /// Builds the simulation.
     pub fn build(self) -> Simulation {
         install_quiet_shutdown_hook();
@@ -296,13 +313,19 @@ impl SimulationBuilder {
             None => shard::default_shards(),
         };
         Simulation {
-            core: Core::new(self.seed, backend, self.fiber_stack_size),
+            core: Core::new(
+                self.seed,
+                backend,
+                self.fiber_stack_size,
+                self.expected_threads,
+            ),
             extra: Vec::new(),
             xports: Vec::new(),
             shards,
             window_stats: WindowStats::default(),
             seed: self.seed,
             fiber_stack_size: self.fiber_stack_size,
+            expected_threads: self.expected_threads,
             default_switch_cost: SimDuration::ZERO,
             max_events: None,
             perturb_seed: None,
@@ -327,6 +350,7 @@ impl Simulation {
             backend: None,
             fiber_stack_size: fiber::DEFAULT_STACK_SIZE,
             shards: None,
+            expected_threads: 0,
         }
     }
 
@@ -385,6 +409,7 @@ impl Simulation {
             shard::lane_seed(self.seed, idx as u64),
             self.backend(),
             self.fiber_stack_size,
+            self.expected_threads,
         );
         {
             let mut st = core.state.lock();
@@ -1119,6 +1144,18 @@ impl Simulation {
     /// recognized.
     pub fn stale_wakes(&self) -> u64 {
         self.cores().map(|c| c.state.lock().wake.stale()).sum()
+    }
+
+    /// Event-queue accounting summed over lanes (see [`QueueStats`]): tier
+    /// and overflow push counts, wheel cascades, and the sum of per-lane
+    /// peak depths. Deterministic — a property of the simulated program,
+    /// not of wall-clock or shard count.
+    pub fn queue_stats(&self) -> QueueStats {
+        let mut total = QueueStats::default();
+        for core in self.cores() {
+            total.merge(&core.state.lock().queue_stats());
+        }
+        total
     }
 }
 

@@ -83,6 +83,17 @@ impl TopologySpec {
         self.backbone_stations > 0 || self.n_leaves() > self.segments_per_switch
     }
 
+    /// Upper bound on the stations any single scheduler lane hosts: the
+    /// busiest lane is the root lane, which carries every backbone station
+    /// plus its round-robin share of the leaves. Used as a capacity hint
+    /// for per-lane event-queue sizing
+    /// ([`Simulation::builder`](desim::Simulation::builder)'s
+    /// `expected_threads`); purely a performance hint, never semantic.
+    pub fn max_machines_per_lane(&self) -> u32 {
+        let leaf_share = self.n_leaves().div_ceil(self.lanes.max(1)) * self.per_segment;
+        self.backbone_stations + leaf_share.min(self.machines - self.backbone_stations)
+    }
+
     /// Realizes the spec on `net`: adds lanes, segments, and switches, and
     /// returns the placement map. `name` names the flat switch (the
     /// harnesses' historical `"pool"`) or prefixes the edge switches.

@@ -97,6 +97,26 @@ proptest! {
             );
         }
     }
+
+    /// The capacity-hint estimator is a true upper bound on the machines
+    /// any single lane actually hosts.
+    #[test]
+    fn per_lane_estimate_bounds_actual_load(spec in spec_strategy()) {
+        let mut sim = Simulation::new(7);
+        let mut net = Network::new(NetConfig::default());
+        let topo = spec.build(&mut sim, &mut net, "pool");
+        let mut lane_load = std::collections::HashMap::new();
+        for m in 0..spec.machines {
+            *lane_load.entry(topo.lane_of(m)).or_insert(0u32) += 1;
+        }
+        let busiest = lane_load.values().copied().max().unwrap_or(0);
+        prop_assert!(
+            busiest <= spec.max_machines_per_lane(),
+            "busiest lane {} over estimate {}",
+            busiest,
+            spec.max_machines_per_lane()
+        );
+    }
 }
 
 /// The flat spec reproduces the historical hand-rolled shapes exactly.

@@ -156,3 +156,31 @@ fn fleet_scale_10k() {
     percentiles_are_sane(&reference);
     println!("10k kernel (fibers): {}", reference.summary());
 }
+
+/// The [`fleet_scale_10k`] world, single fibers run, pinned to its recorded
+/// result hash. The shard matrix above proves the run is internally
+/// consistent; this cell proves it is the *same* run the repo has always
+/// produced — the regression gate for anything that touches event order at
+/// true fleet depth (each lane's far tier holds thousands of pending think
+/// timers here, so deep-queue bugs that 96-machine matrices never reach
+/// surface as a hash flip). Release-only (CI `scale-smoke`).
+#[test]
+#[ignore = "tens of thousands of simulated threads; run with --release -- --ignored"]
+fn fleet_scale_10k_pinned() {
+    // Recorded on the binary-heap far tier and unchanged by the timer-wheel
+    // far tier — pop order is the public invariant both implement.
+    const PINNED_HASH: u64 = 0x9391712da17eb8b6;
+    let mut spec = FleetSpec::new(10_016, 16, FleetStack::Kernel);
+    spec.lanes = 8;
+    spec.duration = desim::ms(40);
+    spec.mean_think = desim::ms(200);
+    spec.group_every = 256;
+    let r = run_fleet(&spec, Backend::Fibers, 0);
+    assert_eq!(
+        r.result_hash(),
+        PINNED_HASH,
+        "10k fleet hash drifted from the recorded run (got {:#018x}):\n  {}",
+        r.result_hash(),
+        r.summary(),
+    );
+}
